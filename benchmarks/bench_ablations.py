@@ -1,0 +1,36 @@
+"""Design-choice ablations from DESIGN.md §6: RSMC buffer depth and
+location-record lifetime ratio."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import ablation_buffer_size, ablation_record_lifetime
+
+
+def test_bench_ablation_buffer_size(benchmark, record_result):
+    result = run_once(
+        benchmark, lambda: ablation_buffer_size(seeds=(1, 2), buffer_sizes=(1, 4, 16, 64))
+    )
+    record_result(result)
+
+    loss = result.series["loss_rate"]
+    # Shape: a one-packet buffer loses packets during the handoff window;
+    # a deep buffer does not.
+    assert loss[0] >= loss[-1]
+    assert loss[-1] < 0.01
+
+
+def test_bench_ablation_record_lifetime(benchmark, record_result):
+    result = run_once(
+        benchmark,
+        lambda: ablation_record_lifetime(
+            seeds=(1, 2), lifetime_ratios=(1.2, 2.0, 4.0, 8.0)
+        ),
+    )
+    record_result(result)
+
+    loss = result.series["loss_rate"]
+    records = result.series["records_at_root"]
+    # Shape: once the lifetime comfortably exceeds the refresh period the
+    # stream is clean; state at the root never exceeds one record per MN
+    # per table by much.
+    assert loss[-1] < 0.01
+    assert all(value <= 2.0 for value in records)

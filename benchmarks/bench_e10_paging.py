@@ -1,0 +1,26 @@
+"""E10: idle-mode paging economy.
+
+Idle mobiles maintained by slow paging-updates versus a no-paging
+system where they must refresh route caches at the fast cadence.
+"""
+
+import math
+
+from benchmarks.conftest import run_once
+from repro.experiments import experiment_e10
+
+
+def test_bench_e10_paging_economy(benchmark, record_result):
+    result = run_once(
+        benchmark,
+        lambda: experiment_e10(seeds=(1, 2), mobile_counts=(2, 4, 8, 16), duration=25.0),
+    )
+    record_result(result)
+
+    savings = result.series["savings_factor"]
+    delays = result.series["paging_first_packet_delay"]
+    # Shape: paging saves roughly the period ratio (10x) in control load.
+    assert all(value > 4.0 for value in savings)
+    # And idle mobiles remain reachable (paging found them).
+    assert all(not math.isnan(value) for value in delays)
+    assert all(value < 0.5 for value in delays)

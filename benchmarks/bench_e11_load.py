@@ -1,0 +1,29 @@
+"""E11: foreground video QoS vs background load (§4 capability d).
+
+The QoS-degradation curve: delay/jitter climb toward the backhaul
+bottleneck, loss appears past saturation.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import experiment_e11
+
+
+def test_bench_e11_qos_under_load(benchmark, record_result):
+    result = run_once(
+        benchmark,
+        lambda: experiment_e11(
+            seeds=(1, 2), background_flows=(0, 2, 4, 6, 8, 10), duration=10.0
+        ),
+    )
+    record_result(result)
+
+    offered = result.series["offered_load"]
+    loss = result.series["loss_rate"]
+    delay = result.series["mean_delay"]
+    # Shape: no loss and modest delay below saturation; clear loss and a
+    # delay blow-up once offered load exceeds the bottleneck.
+    below = [l for o, l in zip(offered, loss) if o < 0.95]
+    above = [l for o, l in zip(offered, loss) if o > 1.05]
+    assert all(value < 0.01 for value in below)
+    assert above and all(value > 0.02 for value in above)
+    assert delay[-1] > 3 * delay[0]

@@ -1,0 +1,25 @@
+"""E1 (Fig 2.2): Mobile IP registration latency & triangle routing.
+
+Regenerates the Mobile IP procedure costs: registration latency and
+CN->MN path stretch as the home agent moves farther away.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import experiment_e1
+
+
+def test_bench_e1_registration_and_triangle(benchmark, record_result):
+    result = run_once(
+        benchmark,
+        lambda: experiment_e1(
+            seeds=(1, 2, 3), backbone_delays=(0.005, 0.010, 0.025, 0.050, 0.100)
+        ),
+    )
+    record_result(result)
+
+    latency = result.series["registration_latency"]
+    stretch = result.series["triangle_stretch"]
+    # Shape: latency grows monotonically with backbone delay.
+    assert all(b > a for a, b in zip(latency, latency[1:]))
+    # Shape: the triangle detour makes the downlink strictly longer.
+    assert all(value > 1.0 for value in stretch)

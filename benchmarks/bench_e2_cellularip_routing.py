@@ -1,0 +1,27 @@
+"""E2 (Fig 2.3): Cellular IP routing-cache maintenance costs.
+
+Signalling rate vs route-update period, and the cache-miss cliff once
+the update period exceeds the route timeout.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import experiment_e2
+
+
+def test_bench_e2_signalling_vs_refresh(benchmark, record_result):
+    result = run_once(
+        benchmark,
+        lambda: experiment_e2(
+            seeds=(1, 2), update_periods=(0.25, 0.5, 1.0, 2.0, 4.0), duration=20.0
+        ),
+    )
+    record_result(result)
+
+    control = result.series["control_packets_per_s"]
+    miss = result.series["miss_rate"]
+    # Shape: signalling decreases as the update period grows.
+    assert all(b <= a for a, b in zip(control, control[1:]))
+    # Shape: near-zero misses while period < timeout (first two points),
+    # large misses once period >> timeout (last point).
+    assert miss[0] < 0.05 and miss[1] < 0.05
+    assert miss[-1] > 0.4

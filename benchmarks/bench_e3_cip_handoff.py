@@ -1,0 +1,29 @@
+"""E3 (Fig 2.4): Cellular IP hard vs semisoft handoff.
+
+Loss per handoff for the break-then-make hard scheme versus the
+dual-path semisoft scheme, across handoff rates.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import experiment_e3
+
+
+def test_bench_e3_hard_vs_semisoft(benchmark, record_result):
+    result = run_once(
+        benchmark,
+        lambda: experiment_e3(
+            seeds=(1, 2), handoff_intervals=(0.5, 1.0, 2.0, 4.0), duration=12.0
+        ),
+    )
+    record_result(result)
+
+    hard = result.series["hard_loss_rate"]
+    semisoft = result.series["semisoft_loss_rate"]
+    # Shape: hard handoff always loses at least as much as semisoft, and
+    # strictly more when handoffs are frequent.
+    assert all(h >= s for h, s in zip(hard, semisoft))
+    assert hard[0] > semisoft[0]
+    # Shape: hard-handoff loss decreases as handoffs get rarer.
+    assert hard[0] > hard[-1]
+    # Semisoft keeps loss (near) zero everywhere.
+    assert max(semisoft) < 0.01

@@ -1,0 +1,27 @@
+"""E9 (§3.2): the speed factor of the handoff decision.
+
+Vehicles and pedestrians roam the Fig 3.1 strip under three tier
+policies; the paper's speed-aware policy should park vehicles on the
+macro umbrella and cut their handoff churn.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import experiment_e9
+
+
+def test_bench_e9_policy_ablation(benchmark, record_result):
+    result = run_once(
+        benchmark,
+        lambda: experiment_e9(seeds=(1, 2), duration=120.0, vehicles=3, pedestrians=3),
+    )
+    record_result(result)
+
+    policies = result.x_values
+    vehicle = dict(zip(policies, result.series["veh_handoffs_per_min"]))
+    on_macro = dict(zip(policies, result.series["vehicles_on_macro"]))
+
+    # Shape: the paper's policy produces the least vehicle churn and
+    # keeps vehicles on the macro tier; always-micro churns the most.
+    assert vehicle["speed-aware (paper)"] <= vehicle["always-strongest"]
+    assert vehicle["speed-aware (paper)"] < vehicle["always-micro"]
+    assert on_macro["speed-aware (paper)"] >= on_macro["always-micro"]

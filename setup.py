@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs (`pip install -e .`).
+
+The execution environment has no `wheel` package, so the PEP 517
+editable path is unavailable; this file lets pip fall back to
+``setup.py develop``. All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""repro — reproduction of "Mobility Management of IP-Based Multi-tier
+Network Supporting Mobile Multimedia Communication Services"
+(Wang, Tsai, Huang — ICDCS Workshops 2002).
+
+Subpackages
+-----------
+``repro.sim``
+    Discrete-event simulation kernel.
+``repro.net``
+    Packet-level IPv4 substrate (links, routers, tunnels).
+``repro.radio``
+    Cells, tiers, propagation and signal-driven handoff triggers.
+``repro.mobility``
+    Movement models from pedestrian to vehicular.
+``repro.mobileip`` / ``repro.cellularip``
+    The two protocol substrates the paper builds on.
+``repro.multitier``
+    The paper's contribution: hierarchical location management, the
+    three-factor handoff strategy, and the RSMC.
+``repro.traffic`` / ``repro.metrics``
+    Workload generation and QoS measurement.
+``repro.experiments``
+    The reproduction harness: baselines and one function per figure.
+"""
+
+__version__ = "1.0.0"

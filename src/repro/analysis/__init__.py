@@ -1,0 +1,24 @@
+"""Closed-form teletraffic and mobility models used to validate the
+simulator (Erlang blocking, guard channels, fluid-flow crossing rates)."""
+
+from repro.analysis.erlang import erlang_b, erlang_c, guard_channel_blocking
+from repro.analysis.fluidflow import (
+    boundary_crossing_rate,
+    circular_cell_crossing_rate,
+    handoff_rate_linear_cells,
+    location_update_cost,
+    mean_cell_dwell_time,
+    mean_residual_dwell_time,
+)
+
+__all__ = [
+    "boundary_crossing_rate",
+    "circular_cell_crossing_rate",
+    "erlang_b",
+    "erlang_c",
+    "guard_channel_blocking",
+    "handoff_rate_linear_cells",
+    "location_update_cost",
+    "mean_cell_dwell_time",
+    "mean_residual_dwell_time",
+]

@@ -1,0 +1,68 @@
+"""Classic teletraffic formulas used to validate the simulator.
+
+The channel pools in this reproduction are loss systems (blocked calls
+cleared), so their blocking probability must match Erlang B; the
+guard-channel variant has its own well-known recursion.  Benchmarks
+compare simulated blocking against these closed forms.
+"""
+
+from __future__ import annotations
+
+def erlang_b(servers: int, offered_load: float) -> float:
+    """Erlang-B blocking probability.
+
+    ``offered_load`` is in Erlangs (arrival rate x mean holding time).
+    Uses the numerically stable recursion
+    ``B(0)=1;  B(c) = a B(c-1) / (c + a B(c-1))``.
+    """
+    if servers < 0:
+        raise ValueError("servers must be non-negative")
+    if offered_load < 0:
+        raise ValueError("offered load must be non-negative")
+    if offered_load == 0:
+        return 0.0
+    blocking = 1.0
+    for c in range(1, servers + 1):
+        blocking = offered_load * blocking / (c + offered_load * blocking)
+    return blocking
+
+
+def erlang_c(servers: int, offered_load: float) -> float:
+    """Erlang-C probability of queueing (delayed-call system)."""
+    if offered_load >= servers:
+        return 1.0
+    b = erlang_b(servers, offered_load)
+    rho = offered_load / servers
+    return b / (1.0 - rho + rho * b)
+
+
+def guard_channel_blocking(
+    capacity: int,
+    guard: int,
+    new_call_load: float,
+    handoff_load: float,
+) -> tuple[float, float]:
+    """Blocking probabilities (new calls, handoffs) with guard channels.
+
+    Standard 1-D birth-death model: total arrival rate is
+    ``lambda_n + lambda_h`` below the guard threshold and ``lambda_h``
+    above it; unit mean holding time (loads already in Erlangs).
+
+    Returns ``(P_block_new, P_drop_handoff)``.
+    """
+    if not 0 <= guard < capacity:
+        raise ValueError("guard must be in [0, capacity)")
+    threshold = capacity - guard
+    total = new_call_load + handoff_load
+
+    # Unnormalized state probabilities pi[k] for k channels busy.
+    pi = [1.0]
+    for k in range(1, capacity + 1):
+        arrival = total if k - 1 < threshold else handoff_load
+        pi.append(pi[-1] * arrival / k)
+    norm = sum(pi)
+    pi = [p / norm for p in pi]
+
+    p_block_new = sum(pi[threshold:])
+    p_drop_handoff = pi[capacity]
+    return p_block_new, p_drop_handoff

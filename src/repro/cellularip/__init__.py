@@ -1,0 +1,17 @@
+"""Cellular IP substrate: gateway-rooted access trees with soft-state
+routing caches, paging, and hard/semisoft handoff (micro-tier mobility)."""
+
+from repro.cellularip import messages
+from repro.cellularip.base_station import CIPBaseStation, CIPDomain, CIPGateway
+from repro.cellularip.mobile_host import CIPMobileHost
+from repro.cellularip.routing_cache import CacheEntry, RoutingCache
+
+__all__ = [
+    "CacheEntry",
+    "CIPBaseStation",
+    "CIPDomain",
+    "CIPGateway",
+    "CIPMobileHost",
+    "RoutingCache",
+    "messages",
+]

@@ -1,0 +1,35 @@
+"""Cellular IP control messages and protocol tags."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.addressing import IPAddress
+
+ROUTE_UPDATE = "cip-route-update"
+PAGING_UPDATE = "cip-paging-update"
+
+ROUTE_UPDATE_BYTES = 40
+PAGING_UPDATE_BYTES = 40
+
+
+@dataclass(frozen=True)
+class RouteUpdate:
+    """Uplink control packet refreshing per-hop routing-cache mappings.
+
+    ``semisoft`` marks the advance update sent through the *new* base
+    station before the radio actually switches (semisoft handoff): it
+    adds a second mapping instead of replacing the existing one, so the
+    crossover node temporarily feeds both paths.
+    """
+
+    mobile_address: IPAddress
+    semisoft: bool = False
+
+
+@dataclass(frozen=True)
+class PagingUpdate:
+    """Uplink control packet from an *idle* mobile refreshing the
+    coarser paging caches."""
+
+    mobile_address: IPAddress

@@ -1,0 +1,82 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro list                # show available experiments
+    python -m repro run E8              # run one experiment, print its table
+    python -m repro run all             # run everything (takes a minute)
+    python -m repro run E3 E8 -o out/   # also write rendered tables to files
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the ICDCSW'02 multi-tier mobility experiments.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list experiment ids")
+
+    run = commands.add_parser("run", help="run experiments and print tables")
+    run.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment ids (e.g. E8 T1), or 'all'",
+    )
+    run.add_argument(
+        "-o",
+        "--output-dir",
+        type=pathlib.Path,
+        default=None,
+        help="also write each rendered table to <dir>/<id>.txt",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for experiment_id, fn in ALL_EXPERIMENTS.items():
+            first_line = (fn.__doc__ or "").strip().splitlines()
+            summary = first_line[0] if first_line else ""
+            print(f"{experiment_id:6s} {summary}")
+        return 0
+
+    wanted = args.experiments
+    if len(wanted) == 1 and wanted[0].lower() == "all":
+        wanted = list(ALL_EXPERIMENTS)
+    unknown = [e for e in wanted if e not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(ALL_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+
+    for experiment_id in wanted:
+        started = time.perf_counter()
+        result = ALL_EXPERIMENTS[experiment_id]()
+        elapsed = time.perf_counter() - started
+        print(result.text)
+        if result.notes:
+            print(f"Notes: {result.notes}")
+        print(f"[{experiment_id} completed in {elapsed:.1f}s]\n")
+        if args.output_dir is not None:
+            args.output_dir.mkdir(parents=True, exist_ok=True)
+            safe_id = experiment_id.replace("/", "_").lower()
+            body = result.text + (f"\n\nNotes: {result.notes}\n" if result.notes else "")
+            (args.output_dir / f"{safe_id}.txt").write_text(body)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

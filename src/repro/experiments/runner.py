@@ -1,0 +1,94 @@
+"""Replication machinery: run a scenario across seeds, aggregate.
+
+A *scenario* is any callable ``f(seed) -> dict[str, float]``.  The
+runner executes it for each seed and reduces every metric to a mean ±
+confidence-interval :class:`Estimate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.metrics.stats import Estimate, mean_confidence
+
+Scenario = Callable[[int], dict[str, float]]
+
+
+@dataclass
+class Replication:
+    """Aggregated results of one scenario across seeds."""
+
+    metrics: dict[str, Estimate]
+    samples: dict[str, list[float]] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> Estimate:
+        return self.metrics[name]
+
+    def mean(self, name: str) -> float:
+        return self.metrics[name].mean
+
+
+def replicate(
+    scenario: Scenario, seeds: Iterable[int], confidence: float = 0.95
+) -> Replication:
+    """Run ``scenario`` once per seed and aggregate each metric."""
+    samples: dict[str, list[float]] = {}
+    for seed in seeds:
+        result = scenario(int(seed))
+        for name, value in result.items():
+            samples.setdefault(name, []).append(float(value))
+    metrics = {
+        name: mean_confidence(values, confidence)
+        for name, values in samples.items()
+    }
+    return Replication(metrics=metrics, samples=samples)
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced figure/table: data plus its rendered text."""
+
+    experiment_id: str
+    title: str
+    x_label: str
+    x_values: Sequence[object]
+    series: dict[str, list[float]]
+    text: str
+    notes: str = ""
+
+    def series_mean(self, name: str) -> float:
+        values = self.series[name]
+        return sum(values) / len(values) if values else float("nan")
+
+
+def sweep(
+    experiment_id: str,
+    title: str,
+    x_label: str,
+    x_values: Sequence[object],
+    make_scenario: Callable[[object], Scenario],
+    seeds: Iterable[int],
+    metric_names: Sequence[str],
+    notes: str = "",
+) -> ExperimentResult:
+    """Run a parameter sweep: one replication per x value."""
+    from repro.metrics.tables import format_series
+
+    seeds = list(seeds)
+    series: dict[str, list[float]] = {name: [] for name in metric_names}
+    for x in x_values:
+        replication = replicate(make_scenario(x), seeds)
+        for name in metric_names:
+            estimate = replication.metrics.get(name)
+            series[name].append(estimate.mean if estimate else float("nan"))
+    text = format_series(x_label, x_values, series, title=title)
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        x_label=x_label,
+        x_values=list(x_values),
+        series=series,
+        text=text,
+        notes=notes,
+    )

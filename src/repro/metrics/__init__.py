@@ -1,0 +1,13 @@
+"""Statistics and result rendering."""
+
+from repro.metrics.stats import Estimate, geometric_mean, mean_confidence, ratio
+from repro.metrics.tables import format_series, format_table
+
+__all__ = [
+    "Estimate",
+    "format_series",
+    "format_table",
+    "geometric_mean",
+    "mean_confidence",
+    "ratio",
+]

@@ -1,0 +1,61 @@
+"""ASCII rendering of result tables and series.
+
+Every benchmark prints its figure/table through these helpers so the
+output format is uniform and diffable (EXPERIMENTS.md records it).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """A fixed-width table with a rule under the header."""
+    texts = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in texts:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in texts:
+        lines.append(render_row(row))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """A figure as a table: one x column plus one column per line."""
+    headers = [x_label] + list(series)
+    rows = []
+    for index, x in enumerate(x_values):
+        row = [x] + [values[index] for values in series.values()]
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # nan
+            return "nan"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,21 @@
+"""Mobility models spanning the pedestrian-to-vehicular spectrum."""
+
+from repro.mobility.base import MobilityModel, Stationary
+from repro.mobility.gauss_markov import GaussMarkov
+from repro.mobility.highway import Highway
+from repro.mobility.manhattan import ManhattanGrid
+from repro.mobility.random_direction import RandomDirection
+from repro.mobility.trace import TracePlayback, linear_crossing
+from repro.mobility.waypoint import RandomWaypoint
+
+__all__ = [
+    "GaussMarkov",
+    "Highway",
+    "ManhattanGrid",
+    "MobilityModel",
+    "RandomDirection",
+    "RandomWaypoint",
+    "Stationary",
+    "TracePlayback",
+    "linear_crossing",
+]

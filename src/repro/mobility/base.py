@@ -1,0 +1,52 @@
+"""Mobility model interface.
+
+A mobility model is a stateful object advanced in discrete steps:
+``advance(dt)`` moves the node and returns its new position.  The
+paper's handoff decision uses the node's *speed* as a first-class
+input, so every model also reports an instantaneous speed estimate.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.radio.geometry import Point, Rectangle
+
+
+class MobilityModel(abc.ABC):
+    """Base class for all movement models."""
+
+    def __init__(self, start: Point, bounds: Rectangle) -> None:
+        if not bounds.contains(start):
+            raise ValueError(f"start {start} outside bounds {bounds}")
+        self.bounds = bounds
+        self._position = start
+        self._speed = 0.0
+
+    @property
+    def position(self) -> Point:
+        return self._position
+
+    @property
+    def speed(self) -> float:
+        """Instantaneous speed in m/s."""
+        return self._speed
+
+    @abc.abstractmethod
+    def advance(self, dt: float) -> Point:
+        """Move the node forward ``dt`` seconds; return the new position."""
+
+    def _move_to(self, point: Point, dt: float) -> Point:
+        """Record a move, updating the speed estimate."""
+        if dt > 0:
+            self._speed = self._position.distance_to(point) / dt
+        self._position = point
+        return point
+
+
+class Stationary(MobilityModel):
+    """A node that never moves (idle-host and baseline scenarios)."""
+
+    def advance(self, dt: float) -> Point:
+        self._speed = 0.0
+        return self._position

@@ -1,0 +1,56 @@
+"""Scripted trace playback: deterministic movement for tests and for
+reproducing the paper's figure scenarios exactly (e.g. "MN X walks from
+cell B's coverage into cell C's")."""
+
+from __future__ import annotations
+
+from repro.mobility.base import MobilityModel
+from repro.radio.geometry import Point, Rectangle
+
+
+class TracePlayback(MobilityModel):
+    """Follows (time, point) waypoints with linear interpolation.
+
+    Waypoint times are relative to the model's creation; after the last
+    waypoint the node stays put.
+    """
+
+    def __init__(self, waypoints: list[tuple[float, Point]], bounds: Rectangle) -> None:
+        if not waypoints:
+            raise ValueError("at least one waypoint required")
+        times = [t for t, _p in waypoints]
+        if times != sorted(times):
+            raise ValueError("waypoint times must be non-decreasing")
+        if times[0] != 0.0:
+            waypoints = [(0.0, waypoints[0][1])] + list(waypoints)
+        super().__init__(waypoints[0][1], bounds)
+        self.waypoints = list(waypoints)
+        self._elapsed = 0.0
+
+    def position_at(self, t: float) -> Point:
+        waypoints = self.waypoints
+        if t <= waypoints[0][0]:
+            return waypoints[0][1]
+        for (t0, p0), (t1, p1) in zip(waypoints, waypoints[1:]):
+            if t0 <= t <= t1:
+                if t1 == t0:
+                    return p1
+                fraction = (t - t0) / (t1 - t0)
+                return Point(
+                    p0.x + (p1.x - p0.x) * fraction,
+                    p0.y + (p1.y - p0.y) * fraction,
+                )
+        return waypoints[-1][1]
+
+    def advance(self, dt: float) -> Point:
+        self._elapsed += dt
+        return self._move_to(self.position_at(self._elapsed), dt)
+
+
+def linear_crossing(
+    start: Point, end: Point, duration: float, bounds: Rectangle
+) -> TracePlayback:
+    """A straight constant-speed walk from ``start`` to ``end``."""
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    return TracePlayback([(0.0, start), (duration, end)], bounds)

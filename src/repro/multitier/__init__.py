@@ -1,0 +1,43 @@
+"""The paper's primary contribution: multi-tier mobility management —
+hierarchical cell tables, the three-factor handoff strategy, and the
+Resource Switching Management Center (RSMC)."""
+
+from repro.multitier import messages
+from repro.multitier.basestation import Attachment, MultiTierBaseStation
+from repro.multitier.correspondent import CorrespondentNode
+from repro.multitier.domain import MobileRealm, MultiTierDomain, default_cell
+from repro.multitier.mnld import MNLD
+from repro.multitier.mobile import MultiTierMobileNode
+from repro.multitier.policy import (
+    AlwaysMacroPolicy,
+    AlwaysMicroPolicy,
+    AlwaysStrongestPolicy,
+    Candidate,
+    HandoffFactors,
+    TierSelectionPolicy,
+)
+from repro.multitier.rsmc import RSMC
+from repro.multitier.tables import DIRECT, CellTable, LocationRecord, TablePair
+
+__all__ = [
+    "AlwaysMacroPolicy",
+    "AlwaysMicroPolicy",
+    "AlwaysStrongestPolicy",
+    "Attachment",
+    "Candidate",
+    "CellTable",
+    "CorrespondentNode",
+    "DIRECT",
+    "HandoffFactors",
+    "LocationRecord",
+    "MNLD",
+    "MobileRealm",
+    "MultiTierBaseStation",
+    "MultiTierDomain",
+    "MultiTierMobileNode",
+    "RSMC",
+    "TablePair",
+    "TierSelectionPolicy",
+    "default_cell",
+    "messages",
+]

@@ -1,0 +1,380 @@
+"""Full-system assembly of the paper's architecture (Figures 3.1 and
+4.1) plus the mobile-side mobility controller.
+
+The canonical world:
+
+* a wired Internet core with a Home Agent (home prefix 10.99.0.0/16),
+  an MNLD and a correspondent node;
+* **domain 1** (Fig 3.1): RSMC1 over macro aggregation BS *R3*, macro
+  cells *R1*, *R2*, micro aggregation *A*/*D* and micro leaf cells
+  *B*, *C*, *E*, *F* laid out along a 2-D strip so that walking east
+  produces exactly the handoffs of Fig 3.4;
+* optionally **domain 2** (Fig 3.3): RSMC2 with macro *R4* and micro
+  *G*, overlapping domain 1's eastern edge, so that crossing into it is
+  an inter-domain handoff with a *different* upper BS.
+
+Geometry (x-axis meters)::
+
+    B(-2700)  A(-2000)  C(-1300) |corridor| E(1300)  D(2000)  F(2700)   G(6000)
+    [------ R1 macro (-2000 r2500) ------][------ R2 macro (2000) -----][-- R4 --]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.mobileip import HomeAgent, install_home_prefix_routes
+from repro.multitier.basestation import MultiTierBaseStation
+from repro.multitier.correspondent import CorrespondentNode
+from repro.multitier.domain import MobileRealm, MultiTierDomain
+from repro.multitier.mnld import MNLD
+from repro.multitier.mobile import MultiTierMobileNode
+from repro.multitier.policy import Candidate, HandoffFactors, TierSelectionPolicy
+from repro.multitier.rsmc import RSMC
+from repro.net import Network
+from repro.net.addressing import AddressAllocator
+from repro.radio.cells import Cell, Tier
+from repro.radio.geometry import Point, Rectangle
+from repro.radio.propagation import PropagationModel
+from repro.radio.signal import SignalMeter
+from repro.sim.kernel import Simulator
+
+#: The strip of the world that mobility models roam.
+WORLD_BOUNDS = Rectangle(-4500, -1500, 8500, 1500)
+HOME_PREFIX = "10.99.0.0/16"
+
+
+@dataclass
+class DomainHandle:
+    """Convenient access to one built domain's parts."""
+
+    domain: MultiTierDomain
+    rsmc: RSMC
+    stations: dict[str, MultiTierBaseStation] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> MultiTierBaseStation:
+        return self.stations[name]
+
+    def radio_stations(self) -> list[MultiTierBaseStation]:
+        return [bs for bs in self.stations.values() if bs.cell is not None]
+
+
+class MultiTierWorld:
+    """The assembled simulation world."""
+
+    def __init__(
+        self,
+        sim: Optional[Simulator] = None,
+        home_delay: float = 0.025,
+        internet_delay: float = 0.005,
+        second_domain: bool = False,
+        domain_kwargs: Optional[dict] = None,
+    ) -> None:
+        self.sim = sim if sim is not None else Simulator()
+        self.network = Network(self.sim, prefix="10.0.0.0/8")
+        self.realm = MobileRealm()
+        self.domain_kwargs = dict(domain_kwargs or {})
+        self._home_allocator = AddressAllocator(HOME_PREFIX)
+
+        # Wired core ----------------------------------------------------
+        self.internet = self.network.router("internet")
+        self.ha = HomeAgent(
+            self.sim, "ha", self.network.allocator.allocate(), HOME_PREFIX
+        )
+        self.mnld = MNLD(self.sim, "mnld", self.network.allocator.allocate())
+        self.cn = CorrespondentNode(
+            self.sim, "cn", self.network.allocator.allocate()
+        )
+        for node in (self.ha, self.mnld, self.cn):
+            self.network.add(node)
+        self.network.connect(self.ha, self.internet, delay=home_delay)
+        self.network.connect(self.mnld, self.internet, delay=internet_delay)
+        self.network.connect(self.cn, self.internet, delay=internet_delay)
+        self.cn.gateway_router = self.internet
+        self.mnld.gateway_router = self.internet
+
+        # Domains ---------------------------------------------------------
+        self.domain1 = self._build_domain_one()
+        self.domain2 = self._build_domain_two() if second_domain else None
+
+        self.network.install_routes()
+        install_home_prefix_routes(self.network, self.ha)
+
+        self.mobiles: list[MultiTierMobileNode] = []
+        self.controllers: list["MobilityController"] = []
+
+    # ------------------------------------------------------------------
+    def _new_domain(self) -> MultiTierDomain:
+        return MultiTierDomain(self.sim, realm=self.realm, **self.domain_kwargs)
+
+    def _station(
+        self,
+        domain: MultiTierDomain,
+        name: str,
+        tier: Tier,
+        center: Optional[Point],
+        radius: float = 0.0,
+        channels: Optional[int] = None,
+    ) -> MultiTierBaseStation:
+        cell = None
+        if center is not None:
+            cell = Cell(name=f"cell-{name}", center=center, tier=tier, radius=radius)
+        station = MultiTierBaseStation(
+            self.sim,
+            name,
+            self.network.allocator.allocate(),
+            domain,
+            tier=tier,
+            cell=cell,
+            channels=channels,
+        )
+        self.network.add(station)
+        return station
+
+    def _build_domain_one(self) -> DomainHandle:
+        domain = self._new_domain()
+        rsmc = RSMC(
+            self.sim,
+            "rsmc1",
+            self.network.allocator.allocate(),
+            domain,
+            home_agent_address=self.ha.address,
+            mnld_address=self.mnld.address,
+        )
+        self.network.add(rsmc)
+        self.network.connect(rsmc, self.internet, delay=0.005)
+        rsmc.internet_neighbor = self.internet
+
+        handle = DomainHandle(domain=domain, rsmc=rsmc)
+        # Macro tier: R3 aggregates R1 and R2 (Fig 3.1's two levels).
+        # Macro towers sit 800 m off the street axis, so at street level a
+        # nearby micro cell is stronger than the macro umbrella — signal-
+        # chasing policies therefore churn between tiers (E9's baseline).
+        r3 = self._station(domain, "R3", Tier.MACRO, None)
+        r1 = self._station(domain, "R1", Tier.MACRO, Point(-2000, 800), radius=2500)
+        r2 = self._station(domain, "R2", Tier.MACRO, Point(2000, 800), radius=2500)
+        # Micro tier west (under R1): A aggregates B and C.
+        a = self._station(domain, "A", Tier.MICRO, Point(-2000, 0), radius=400)
+        b = self._station(domain, "B", Tier.MICRO, Point(-2700, 0), radius=400)
+        c = self._station(domain, "C", Tier.MICRO, Point(-1300, 0), radius=400)
+        # Micro tier east (under R2): D aggregates E and F.
+        d = self._station(domain, "D", Tier.MICRO, Point(2000, 0), radius=400)
+        e = self._station(domain, "E", Tier.MICRO, Point(1300, 0), radius=400)
+        f = self._station(domain, "F", Tier.MICRO, Point(2700, 0), radius=400)
+
+        domain.link(rsmc, r3)
+        domain.link(r3, r1)
+        domain.link(r3, r2)
+        domain.link(r1, a)
+        domain.link(a, b)
+        domain.link(a, c)
+        domain.link(r2, d)
+        domain.link(d, e)
+        domain.link(d, f)
+        handle.stations = {
+            "R3": r3, "R1": r1, "R2": r2,
+            "A": a, "B": b, "C": c,
+            "D": d, "E": e, "F": f,
+        }
+        return handle
+
+    def _build_domain_two(self) -> DomainHandle:
+        domain = self._new_domain()
+        rsmc = RSMC(
+            self.sim,
+            "rsmc2",
+            self.network.allocator.allocate(),
+            domain,
+            home_agent_address=self.ha.address,
+            mnld_address=self.mnld.address,
+        )
+        self.network.add(rsmc)
+        self.network.connect(rsmc, self.internet, delay=0.005)
+        rsmc.internet_neighbor = self.internet
+
+        handle = DomainHandle(domain=domain, rsmc=rsmc)
+        r4 = self._station(domain, "R4", Tier.MACRO, Point(6000, 800), radius=2500)
+        g = self._station(domain, "G", Tier.MICRO, Point(6000, 0), radius=400)
+        domain.link(rsmc, r4)
+        domain.link(r4, g)
+        handle.stations = {"R4": r4, "G": g}
+        return handle
+
+    # ------------------------------------------------------------------
+    def add_pico(
+        self,
+        parent_name: str,
+        name: str,
+        center: Point,
+        radius: float = 60.0,
+        channels: Optional[int] = None,
+        domain: str = "domain1",
+    ) -> MultiTierBaseStation:
+        """Attach an in-building pico cell under an existing station.
+
+        Pico cells are the paper's third hierarchy level (Fig 2.1);
+        mobility-wise they behave like micro cells (micro_table only).
+        """
+        handle: DomainHandle = getattr(self, domain)
+        parent = handle[parent_name]
+        station = self._station(
+            handle.domain, name, Tier.PICO, center, radius=radius, channels=channels
+        )
+        handle.domain.link(parent, station)
+        handle.stations[name] = station
+        return station
+
+    def add_mobile(
+        self, name: str, bandwidth_demand: float = 0.0
+    ) -> MultiTierMobileNode:
+        mobile = MultiTierMobileNode(
+            self.sim,
+            name,
+            home_address=self._home_allocator.allocate(),
+            realm=self.realm,
+            bandwidth_demand=bandwidth_demand,
+        )
+        self.mobiles.append(mobile)
+        return mobile
+
+    def all_radio_stations(self) -> list[MultiTierBaseStation]:
+        stations = self.domain1.radio_stations()
+        if self.domain2 is not None:
+            stations.extend(self.domain2.radio_stations())
+        return stations
+
+    def add_controller(self, mobile, model, **kwargs) -> "MobilityController":
+        controller = MobilityController(
+            self.sim, mobile, model, self.all_radio_stations(), **kwargs
+        )
+        self.controllers.append(controller)
+        return controller
+
+
+class MobilityController:
+    """Drives one mobile: samples its mobility model, applies the
+    three-factor decision and executes handoffs (§3.2)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        mobile: MultiTierMobileNode,
+        model,
+        stations: list[MultiTierBaseStation],
+        policy: Optional[TierSelectionPolicy] = None,
+        sample_period: float = 0.5,
+        hysteresis_db: float = 4.0,
+        min_usable_dbm: float = -95.0,
+        propagation: Optional[PropagationModel] = None,
+    ) -> None:
+        self.sim = sim
+        self.mobile = mobile
+        self.model = model
+        self.policy = policy if policy is not None else TierSelectionPolicy()
+        self.sample_period = sample_period
+        self.hysteresis_db = hysteresis_db
+        self.stations = [bs for bs in stations if bs.cell is not None]
+        self._cell_to_station = {bs.cell.name: bs for bs in self.stations}
+        self.meter = SignalMeter(
+            propagation if propagation is not None else PropagationModel(),
+            [bs.cell for bs in self.stations],
+            min_usable_dbm=min_usable_dbm,
+        )
+        self.blocked_attach_attempts = 0
+        self.process = sim.process(self._run(), name=f"{mobile.name}-controller")
+
+    # ------------------------------------------------------------------
+    def _candidates(self, position: Point) -> list[Candidate]:
+        survey = self.meter.survey(position)
+        return [
+            Candidate(station=self._cell_to_station[m.cell.name], rss_dbm=m.rss_dbm)
+            for m in survey
+            if self._cell_to_station[m.cell.name].cell.covers(position)
+        ]
+
+    def _factors(self) -> HandoffFactors:
+        return HandoffFactors(
+            speed=self.mobile.speed,
+            bandwidth_demand=self.mobile.bandwidth_demand,
+            serving_tier=self.mobile.serving_tier,
+        )
+
+    def _run(self):
+        mobile = self.mobile
+        while True:
+            yield self.sim.timeout(self.sample_period)
+            position = self.model.advance(self.sample_period)
+            mobile.speed = self.model.speed
+            candidates = self._candidates(position)
+            if not candidates:
+                continue
+            factors = self._factors()
+            ordered = self.policy.order_candidates(candidates, factors)
+
+            if mobile.serving_bs is None:
+                for candidate in ordered:
+                    if mobile.initial_attach(candidate.station):
+                        break
+                    self.blocked_attach_attempts += 1
+                continue
+
+            decision = self._decide(position, candidates, factors, ordered)
+            if decision is None:
+                continue
+            # Try candidates best-first until one admits us (the paper's
+            # tier overflow: "turns to ask micro-tier for handoff").
+            for candidate in decision:
+                if candidate.station is mobile.serving_bs:
+                    break
+                accepted = yield from mobile.perform_handoff(candidate.station)
+                if accepted:
+                    break
+
+    def _decide(
+        self,
+        position: Point,
+        candidates: list[Candidate],
+        factors: HandoffFactors,
+        ordered: list[Candidate],
+    ) -> Optional[list[Candidate]]:
+        """None = stay; otherwise an ordered target list to try."""
+        mobile = self.mobile
+        serving = mobile.serving_bs
+        serving_candidate = next(
+            (c for c in candidates if c.station is serving), None
+        )
+
+        # Factor: signal — out of the serving cell entirely, must move.
+        if serving_candidate is None or not serving.cell.covers(position):
+            return [c for c in ordered if c.station is not serving]
+
+        if not self.policy.tier_agnostic:
+            # Factors: speed / bandwidth demand — switch to a tier the
+            # policy ranks strictly better than the serving one.
+            preference = self.policy.tier_preference(factors)
+            serving_rank = preference.index(serving.tier)
+            better_tier = [
+                c for c in ordered if preference.index(c.tier) < serving_rank
+            ]
+            if better_tier:
+                best_rank = min(preference.index(c.tier) for c in better_tier)
+                return [
+                    c for c in better_tier if preference.index(c.tier) == best_rank
+                ]
+            rivals = [
+                c
+                for c in candidates
+                if c.tier is serving.tier and c.station is not serving
+            ]
+        else:
+            rivals = [c for c in candidates if c.station is not serving]
+
+        # Factor: signal — a rival beats us by the hysteresis margin.
+        if rivals:
+            best = max(rivals, key=lambda c: c.rss_dbm)
+            if best.rss_dbm >= serving_candidate.rss_dbm + self.hysteresis_db:
+                return [best] + [
+                    c for c in ordered if c.station not in (best.station, serving)
+                ]
+        return None

@@ -1,0 +1,371 @@
+"""Multi-tier base stations (§3).
+
+A base station belongs to the micro or macro tier, keeps the paper's
+cell tables (micro_table, and macro_table for macro cells), admits
+mobiles through a guarded channel pool (the "resources of BS" handoff
+factor), and routes data packets by walking the location records:
+down when a record is known, up toward the RSMC otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.multitier import messages
+from repro.multitier.tables import TablePair
+from repro.net.addressing import IPAddress
+from repro.net.link import connect
+from repro.net.node import Node
+from repro.net.packet import Packet
+from repro.radio.cells import Cell, Tier
+from repro.sim.resources import GuardedChannelPool, Request
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.multitier.domain import MultiTierDomain
+    from repro.net.link import Link
+    from repro.sim.kernel import Simulator
+
+
+@dataclass
+class Attachment:
+    """One mobile currently holding a channel on this base station."""
+
+    node: Node
+    channel: Optional[Request]
+    since: float
+
+
+class MultiTierBaseStation(Node):
+    """A micro- or macro-tier base station with cell tables."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str,
+        address,
+        domain: "MultiTierDomain",
+        tier: Tier,
+        cell: Optional[Cell] = None,
+        channels: Optional[int] = None,
+    ) -> None:
+        super().__init__(sim, name, address)
+        if tier not in (Tier.PICO, Tier.MICRO, Tier.MACRO):
+            raise ValueError(f"unknown tier {tier!r}")
+        self.domain = domain
+        self.tier = tier
+        self.cell = cell
+        # Pico cells are mobility-managed exactly like micro cells
+        # (§4: "The focused facilities of mobility management and
+        # handoff strategy are separated into micro-cell and macro-cell")
+        # — they keep a micro_table only.
+        self.tables = TablePair(
+            sim,
+            record_lifetime=domain.record_lifetime,
+            has_macro_table=(tier is Tier.MACRO),
+        )
+        capacity = channels or (cell.channels if cell else 32)
+        guard = min(domain.guard_channels, max(capacity - 1, 0))
+        self.channels = GuardedChannelPool(sim, capacity=capacity, guard=guard)
+        self.parent: Optional["MultiTierBaseStation"] = None
+        self.children: list["MultiTierBaseStation"] = []
+        self.attached: dict[IPAddress, Attachment] = {}
+        #: Channel held between handoff-accept and update-location.
+        self._pending_channels: dict[IPAddress, Request] = {}
+
+        self.location_messages_seen = 0
+        self.handoff_requests = 0
+        self.handoffs_accepted = 0
+        self.handoffs_rejected = 0
+        self.new_calls_blocked = 0
+        self.dropped_no_record = 0
+        self.dropped_stale_radio = 0
+        self.delivered_to_mobiles = 0
+        self.bounced_up = 0
+        self.lookup_probes = 0
+        domain.add_station(self)
+
+    # ------------------------------------------------------------------
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    def radio_connect(self, mobile: Node) -> None:
+        """Create the radio link pair (signalling-only until admitted)."""
+        if self.link_to(mobile) is None:
+            connect(
+                self.sim,
+                self,
+                mobile,
+                bandwidth=self.domain.wireless_bandwidth,
+                delay=self.domain.wireless_delay,
+            )
+
+    def radio_disconnect(self, mobile: Node) -> None:
+        self.detach_link(mobile)
+        mobile.detach_link(self)
+
+    # ------------------------------------------------------------------
+    # Admission (the "resources of BS" factor)
+    # ------------------------------------------------------------------
+    def admit_new_call(self, mobile: Node) -> bool:
+        """Initial attachment: may not take guard channels."""
+        channel = self.channels.admit_new_call()
+        if channel is None:
+            self.new_calls_blocked += 1
+            return False
+        self.radio_connect(mobile)
+        self.attached[mobile.address] = Attachment(mobile, channel, self.sim.now)
+        return True
+
+    def detach_mobile(self, mobile: Node) -> None:
+        attachment = self.attached.pop(mobile.address, None)
+        if attachment is not None and attachment.channel is not None:
+            self.channels.release(attachment.channel)
+        pending = self._pending_channels.pop(mobile.address, None)
+        if pending is not None:
+            self.channels.release(pending)
+        self.radio_disconnect(mobile)
+
+    @property
+    def free_channels(self) -> int:
+        return self.channels.free
+
+    # ------------------------------------------------------------------
+    # Packet handling
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet, link: Optional["Link"] = None) -> None:
+        self.received_count += 1
+        from_node = link.head if link is not None else None
+        protocol = packet.protocol
+
+        if protocol in (messages.LOCATION, messages.UPDATE_LOCATION):
+            self._handle_location(packet, from_node)
+            return
+        if protocol == messages.DELETE_LOCATION:
+            self._handle_delete(packet, from_node)
+            return
+        if protocol == messages.HANDOFF_REQUEST:
+            self._handle_handoff_request(packet, from_node)
+            return
+        if protocol == messages.HANDOFF_BEGIN:
+            self._forward_up(packet)
+            return
+        if self.owns(packet.dst):
+            self.deliver_local(packet, link)
+            return
+        if self.domain.is_mobile(packet.dst):
+            self._route_mobile_packet(packet, from_node)
+            return
+        # Plain uplink traffic toward the Internet.
+        self._forward_up(packet)
+
+    def _forward_up(self, packet: Packet) -> None:
+        if self.parent is not None:
+            self.send_via(self.parent, packet)
+        # The RSMC overrides to bridge to the Internet / consume control.
+
+    # ------------------------------------------------------------------
+    # Location management (§3.1)
+    # ------------------------------------------------------------------
+    def _handle_location(self, packet: Packet, from_node: Optional[Node]) -> None:
+        payload = packet.payload
+        self.location_messages_seen += 1
+        mobile = payload.mobile_address
+        serving_macro = payload.serving_tier is Tier.MACRO
+        came_from_mobile = from_node is not None and from_node.owns(mobile)
+        via = None if came_from_mobile else from_node
+        self.tables.store(mobile, via, serving_tier_is_macro=serving_macro)
+
+        if packet.protocol == messages.UPDATE_LOCATION:
+            self._finalize_handoff_attachment(mobile)
+        self._forward_up(packet)
+
+    def _finalize_handoff_attachment(self, mobile_address: IPAddress) -> None:
+        """Promote a pending handoff channel to a full attachment."""
+        pending = self._pending_channels.pop(mobile_address, None)
+        if pending is None:
+            return
+        mobile = self._linked_mobile(mobile_address)
+        if mobile is None:
+            self.channels.release(pending)
+            return
+        self.attached[mobile_address] = Attachment(mobile, pending, self.sim.now)
+
+    def _linked_mobile(self, mobile_address: IPAddress) -> Optional[Node]:
+        for neighbor in self.links:
+            if neighbor.owns(mobile_address):
+                return neighbor
+        return None
+
+    def _handle_delete(self, packet: Packet, from_node: Optional[Node]) -> None:
+        """Delete Location Message: erase the stale branch (§3.2).
+
+        The record is deleted only while it still points toward where
+        the delete came from (the stale branch / the departed radio);
+        if an Update Location Message already repointed it, propagation
+        stops — that node is the crossover.
+        """
+        payload = packet.payload
+        mobile = payload.mobile_address
+        record = self.tables.micro_table.peek(mobile)
+        if record is None and self.tables.macro_table is not None:
+            record = self.tables.macro_table.peek(mobile)
+        if record is None:
+            return
+        came_from_mobile = from_node is not None and from_node.owns(mobile)
+        if came_from_mobile:
+            # We are the old serving BS: always erase and release radio.
+            self.tables.delete(mobile)
+            mobile_node = self.attached.get(mobile)
+            if mobile_node is not None:
+                self.detach_mobile(mobile_node.node)
+            self._forward_up(packet)
+            return
+        if record.via is from_node:
+            self.tables.delete(mobile)
+            self._forward_up(packet)
+        # else: record points elsewhere (crossover reached) — stop.
+
+    # ------------------------------------------------------------------
+    # Handoff admission (§3.2)
+    # ------------------------------------------------------------------
+    def _handle_handoff_request(self, packet: Packet, from_node: Optional[Node]) -> None:
+        request = packet.payload
+        self.handoff_requests += 1
+        mobile_address = request.mobile_address
+        channel = self.channels.admit_handoff()
+        accepted = channel is not None
+        if accepted:
+            # Hold the channel until the Update Location Message lands.
+            previous = self._pending_channels.pop(mobile_address, None)
+            if previous is not None:
+                self.channels.release(previous)
+            self._pending_channels[mobile_address] = channel
+            self.handoffs_accepted += 1
+            self._notify_handoff_begin(request)
+        else:
+            self.handoffs_rejected += 1
+
+        answer = messages.HandoffAnswer(
+            mobile_address=mobile_address,
+            handoff_id=request.handoff_id,
+            accepted=accepted,
+        )
+        mobile = self._linked_mobile(mobile_address)
+        if mobile is not None:
+            self.send_via(
+                mobile,
+                Packet(
+                    src=self.address,
+                    dst=mobile_address,
+                    size=messages.HANDOFF_CONTROL_BYTES,
+                    protocol=messages.HANDOFF_ACCEPT
+                    if accepted
+                    else messages.HANDOFF_REJECT,
+                    payload=answer,
+                    created_at=packet.created_at,
+                ),
+            )
+
+    def _notify_handoff_begin(self, request) -> None:
+        """Tell the RSMC to start buffering for this mobile."""
+        if self.parent is None:
+            # We are the root: handle locally (RSMC overrides).
+            return
+        begin = messages.HandoffBegin(
+            mobile_address=request.mobile_address, handoff_id=request.handoff_id
+        )
+        self.send_via(
+            self.parent,
+            Packet(
+                src=self.address,
+                dst=self._root_address(),
+                size=messages.HANDOFF_CONTROL_BYTES,
+                protocol=messages.HANDOFF_BEGIN,
+                payload=begin,
+                created_at=self.sim.now,
+            ),
+        )
+
+    def _root_address(self) -> IPAddress:
+        node: MultiTierBaseStation = self
+        while node.parent is not None:
+            node = node.parent
+        return node.address
+
+    # ------------------------------------------------------------------
+    # Location tracking (§3.1: "When system needs to track the location
+    # of MNs, BSS just search its cell table")
+    # ------------------------------------------------------------------
+    def locate(self, mobile) -> tuple[Optional["MultiTierBaseStation"], int]:
+        """Walk the downward pointers to the serving base station.
+
+        Returns ``(serving_bs, table_probes)``; ``(None, probes)`` when
+        the trail is cold.  Each hop costs one :meth:`TablePair.lookup`
+        (micro_table first, then macro_table — the paper's order).
+        """
+        probes = 0
+        node: MultiTierBaseStation = self
+        visited: set[int] = set()
+        while True:
+            if id(node) in visited:
+                return None, probes  # corrupt trail; refuse to loop
+            visited.add(id(node))
+            record, cost = node.tables.lookup(mobile)
+            probes += cost
+            if record is None:
+                return None, probes
+            if record.via is None:
+                return node, probes
+            if not isinstance(record.via, MultiTierBaseStation):
+                return None, probes
+            node = record.via
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def _route_mobile_packet(self, packet: Packet, from_node: Optional[Node]) -> None:
+        """Forward a packet destined to a mobile.
+
+        Normal case: follow the location record downward.  If the
+        record is stale (departed radio) or points back at the sender
+        (the stale branch of an in-progress handoff), the packet is
+        *bounced upward* toward the RSMC, which re-routes or buffers
+        it — the paper's resource switching.  Bouncing is loop-free: a
+        packet never goes back down the link it arrived on.
+        """
+        destination = packet.dst
+        attachment = self.attached.get(destination)
+        if attachment is not None:
+            if attachment.node in self.links:
+                self.delivered_to_mobiles += 1
+                self.send_via(attachment.node, packet)
+            else:
+                self.dropped_stale_radio += 1
+            return
+
+        record, probes = self.tables.lookup(destination)
+        self.lookup_probes += probes
+        if record is not None:
+            down = record.via
+            usable = (
+                down is not None and down in self.links and down is not from_node
+            )
+            if usable:
+                self.send_via(down, packet)
+                return
+        # No usable downward pointer: drain upward (resource switching)
+        # unless this copy is a paging flood that found nobody.
+        if packet.paged:
+            self.dropped_no_record += 1
+            return
+        if self.parent is not None:
+            if packet.ttl <= 1:
+                self.dropped_no_record += 1
+                return
+            packet.ttl -= 1
+            self.bounced_up += 1
+            self.send_via(self.parent, packet)
+            return
+        self.dropped_no_record += 1

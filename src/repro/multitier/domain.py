@@ -1,0 +1,124 @@
+"""Domain configuration and construction helpers.
+
+A *domain* is the paper's unit of wide-area mobility: the coverage of
+one macro-tier hierarchy rooted at an RSMC (§3.2 defines "a domain to
+be coverage of macro-tier").  Several domains share a
+:class:`MobileRealm` — the set of mobile home addresses — and are
+stitched together over the wired Internet by Mobile IP.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.net.addressing import IPAddress
+from repro.radio.cells import Cell, Tier
+from repro.radio.geometry import Point
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.multitier.basestation import MultiTierBaseStation
+    from repro.multitier.rsmc import RSMC
+    from repro.sim.kernel import Simulator
+
+
+class MobileRealm:
+    """The set of mobile home addresses known across all domains."""
+
+    def __init__(self) -> None:
+        self.mobile_addresses: set[IPAddress] = set()
+
+    def register(self, address) -> None:
+        self.mobile_addresses.add(IPAddress(address))
+
+    def is_mobile(self, address) -> bool:
+        return IPAddress(address) in self.mobile_addresses
+
+
+class MultiTierDomain:
+    """Parameters and registry for one multi-tier domain."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        realm: Optional[MobileRealm] = None,
+        record_lifetime: float = 5.0,
+        location_update_period: float = 1.0,
+        handoff_timeout: float = 1.0,
+        buffer_size: int = 64,
+        buffer_guard_time: float = 2.0,
+        forward_grace: float = 5.0,
+        auth_delay: float = 0.020,
+        guard_channels: int = 1,
+        wireless_bandwidth: float = 2e6,
+        wireless_delay: float = 0.002,
+        wired_bandwidth: float = 100e6,
+        wired_delay: float = 0.002,
+        broadcast_paging: bool = True,
+        notify_correspondents: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.realm = realm if realm is not None else MobileRealm()
+        self.record_lifetime = record_lifetime
+        self.location_update_period = location_update_period
+        self.handoff_timeout = handoff_timeout
+        self.buffer_size = buffer_size
+        self.buffer_guard_time = buffer_guard_time
+        self.forward_grace = forward_grace
+        self.auth_delay = auth_delay
+        self.guard_channels = guard_channels
+        self.wireless_bandwidth = wireless_bandwidth
+        self.wireless_delay = wireless_delay
+        self.wired_bandwidth = wired_bandwidth
+        self.wired_delay = wired_delay
+        self.broadcast_paging = broadcast_paging
+        self.notify_correspondents = notify_correspondents
+
+        self.rsmc: Optional["RSMC"] = None
+        self.base_stations: list["MultiTierBaseStation"] = []
+
+    # ------------------------------------------------------------------
+    def is_mobile(self, address) -> bool:
+        return self.realm.is_mobile(address)
+
+    def register_mobile(self, address) -> None:
+        self.realm.register(address)
+
+    def add_station(self, station: "MultiTierBaseStation") -> None:
+        if station not in self.base_stations:
+            self.base_stations.append(station)
+
+    def link(self, parent: "MultiTierBaseStation", child: "MultiTierBaseStation") -> None:
+        """Wire ``child`` under ``parent`` in the hierarchy."""
+        from repro.net.link import connect
+
+        if child.parent is not None:
+            raise ValueError(f"{child.name} already has a parent")
+        connect(
+            self.sim,
+            parent,
+            child,
+            bandwidth=self.wired_bandwidth,
+            delay=self.wired_delay,
+        )
+        child.parent = parent
+        parent.children.append(child)
+
+    # ------------------------------------------------------------------
+    # Accounting across the whole domain
+    # ------------------------------------------------------------------
+    def total_location_messages(self) -> int:
+        return sum(bs.location_messages_seen for bs in self.base_stations)
+
+    def total_table_records(self) -> int:
+        return sum(bs.tables.total_records() for bs in self.base_stations)
+
+    def total_downlink_drops(self) -> int:
+        return sum(
+            bs.dropped_no_record + bs.dropped_stale_radio
+            for bs in self.base_stations
+        )
+
+
+def default_cell(name: str, tier: Tier, center: Point = Point(0.0, 0.0)) -> Cell:
+    """A cell with tier-default radio parameters."""
+    return Cell(name=name, center=center, tier=tier)

@@ -1,0 +1,243 @@
+"""The multi-tier mobile node (the paper's MN).
+
+Mobility is mobile-controlled (§3.2 picks mechanism "(1) managed by
+MN"): the node requests admission from a candidate base station,
+and on acceptance performs make-before-break signalling — Delete
+Location Message down the old radio, Update Location Message up the
+new one, "in the same time".
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.multitier import messages
+from repro.multitier.basestation import MultiTierBaseStation
+from repro.net.addressing import IPAddress
+from repro.net.node import Node
+from repro.net.packet import Packet
+from repro.radio.cells import Tier
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.link import Link
+    from repro.sim.kernel import Simulator
+
+_handoff_ids = itertools.count(1)
+
+
+class MultiTierMobileNode(Node):
+    """A mobile node roaming a multi-tier network."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str,
+        home_address,
+        realm,
+        bandwidth_demand: float = 0.0,
+    ) -> None:
+        super().__init__(sim, name, home_address)
+        self.home_address = IPAddress(home_address)
+        realm.register(self.home_address)
+        self.realm = realm
+        self.serving_bs: Optional[MultiTierBaseStation] = None
+        #: Updated by the mobility controller each sampling epoch.
+        self.speed = 0.0
+        self.bandwidth_demand = bandwidth_demand
+
+        self._location_loop = None
+        self._pending_answers: dict[int, object] = {}
+        self.handoffs_attempted = 0
+        self.handoffs_completed = 0
+        self.handoffs_rejected = 0
+        self.handoffs_timed_out = 0
+        self.handoff_latencies: list[float] = []
+        self.location_messages_sent = 0
+        self.data_received = 0
+        self.on_data: list[Callable[[Packet], None]] = []
+
+        self.on_protocol(messages.HANDOFF_ACCEPT, self._handle_answer)
+        self.on_protocol(messages.HANDOFF_REJECT, self._handle_answer)
+
+    # ------------------------------------------------------------------
+    @property
+    def serving_tier(self) -> Optional[Tier]:
+        return self.serving_bs.tier if self.serving_bs is not None else None
+
+    # ------------------------------------------------------------------
+    # Attachment / location refresh
+    # ------------------------------------------------------------------
+    def initial_attach(self, bs: MultiTierBaseStation) -> bool:
+        """First association: new-call admission (guard channels excluded)."""
+        if not bs.admit_new_call(self):
+            return False
+        self.serving_bs = bs
+        self._send_update_location()
+        self._ensure_location_loop()
+        return True
+
+    def _ensure_location_loop(self, period: Optional[float] = None) -> None:
+        if self._location_loop is not None and self._location_loop.is_alive:
+            return
+        self._location_loop = self.sim.process(
+            self._location_refresh_loop(period), name=f"{self.name}-location-loop"
+        )
+
+    def _location_refresh_loop(self, period: Optional[float]):
+        from repro.sim.errors import Interrupt
+
+        while True:
+            serving = self.serving_bs
+            interval = period or (
+                serving.domain.location_update_period if serving else 1.0
+            )
+            try:
+                yield self.sim.timeout(interval)
+            except Interrupt:
+                return
+            if self.serving_bs is not None:
+                self.send_location_message()
+
+    def send_location_message(self) -> None:
+        serving = self.serving_bs
+        if serving is None:
+            return
+        self.location_messages_sent += 1
+        self.send_via(
+            serving,
+            Packet(
+                src=self.home_address,
+                dst=serving.address,
+                size=messages.LOCATION_BYTES,
+                protocol=messages.LOCATION,
+                payload=messages.LocationMessage(
+                    mobile_address=self.home_address, serving_tier=serving.tier
+                ),
+                created_at=self.sim.now,
+            ),
+        )
+
+    def _send_update_location(self, handoff_id: int = 0) -> None:
+        serving = self.serving_bs
+        if serving is None:
+            return
+        self.location_messages_sent += 1
+        self.send_via(
+            serving,
+            Packet(
+                src=self.home_address,
+                dst=serving.address,
+                size=messages.UPDATE_LOCATION_BYTES,
+                protocol=messages.UPDATE_LOCATION,
+                payload=messages.UpdateLocationMessage(
+                    mobile_address=self.home_address,
+                    serving_tier=serving.tier,
+                    handoff_id=handoff_id,
+                ),
+                created_at=self.sim.now,
+            ),
+        )
+
+    def _send_delete_location(self, old_bs: MultiTierBaseStation, handoff_id: int) -> None:
+        self.send_via(
+            old_bs,
+            Packet(
+                src=self.home_address,
+                dst=old_bs.address,
+                size=messages.DELETE_LOCATION_BYTES,
+                protocol=messages.DELETE_LOCATION,
+                payload=messages.DeleteLocationMessage(
+                    mobile_address=self.home_address, handoff_id=handoff_id
+                ),
+                created_at=self.sim.now,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Handoff procedure (§3.2, mobile-controlled)
+    # ------------------------------------------------------------------
+    def perform_handoff(self, new_bs: MultiTierBaseStation):
+        """Generator: run as ``sim.process(mn.perform_handoff(bs))``.
+
+        Returns True on success.  On rejection or timeout the mobile
+        stays with its old base station (the caller may then try the
+        next candidate — tier overflow).
+        """
+        if new_bs is self.serving_bs:
+            return True
+        self.handoffs_attempted += 1
+        handoff_id = next(_handoff_ids)
+        started = self.sim.now
+
+        # 1. Admission over the new radio ("resources of BS").
+        new_bs.radio_connect(self)
+        answer_event = self.sim.event()
+        self._pending_answers[handoff_id] = answer_event
+        self.send_via(
+            new_bs,
+            Packet(
+                src=self.home_address,
+                dst=new_bs.address,
+                size=messages.HANDOFF_CONTROL_BYTES,
+                protocol=messages.HANDOFF_REQUEST,
+                payload=messages.HandoffRequest(
+                    mobile_address=self.home_address,
+                    handoff_id=handoff_id,
+                    bandwidth_demand=self.bandwidth_demand,
+                ),
+                created_at=started,
+            ),
+        )
+        timeout_guard = self.sim.timeout(self._handoff_timeout(new_bs))
+        outcome = yield self.sim.any_of([answer_event, timeout_guard])
+        self._pending_answers.pop(handoff_id, None)
+
+        if answer_event not in outcome:
+            self.handoffs_timed_out += 1
+            if new_bs is not self.serving_bs:
+                new_bs.radio_disconnect(self)
+            return False
+        answer = answer_event.value
+        if not answer.accepted:
+            self.handoffs_rejected += 1
+            if new_bs is not self.serving_bs:
+                new_bs.radio_disconnect(self)
+            return False
+
+        # 2. Make-before-break: erase the stale branch via the old radio
+        #    and announce the new location via the new one, "in the same
+        #    time" (§3.2 case a).
+        old_bs = self.serving_bs
+        if old_bs is not None:
+            self._send_delete_location(old_bs, handoff_id)
+        self.serving_bs = new_bs
+        self._send_update_location(handoff_id)
+        self._ensure_location_loop()
+        self.handoffs_completed += 1
+        self.handoff_latencies.append(self.sim.now - started)
+        return True
+
+    def _handoff_timeout(self, bs: MultiTierBaseStation) -> float:
+        return bs.domain.handoff_timeout
+
+    def _handle_answer(self, packet: Packet, link: Optional["Link"]) -> None:
+        answer = packet.payload
+        event = self._pending_answers.get(answer.handoff_id)
+        if event is not None and not event.triggered:
+            event.succeed(answer)
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def originate(self, packet: Packet) -> bool:
+        if self.serving_bs is None:
+            return False
+        return self.send_via(self.serving_bs, packet)
+
+    def deliver_local(self, packet: Packet, link: Optional["Link"]) -> None:
+        if packet.protocol == "data":
+            self.data_received += 1
+            for hook in self.on_data:
+                hook(packet)
+        super().deliver_local(packet, link)

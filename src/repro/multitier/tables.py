@@ -1,0 +1,177 @@
+"""The paper's cell tables (§3.1).
+
+Every micro-cell base station keeps a ``micro_table``; every macro-cell
+base station keeps a ``macro_table`` *and* a ``micro_table`` covering
+the micro cells in its region.  A record ``(mn, via)`` is a downward
+pointer: the child base station (or the radio interface, for the
+serving cell itself) through which the mobile is reachable.  Records
+carry a time limit and are erased if no Location Message renews them.
+
+Lookup order is the paper's: *"Macro-cell will search its micro_table
+first, if not find, its macro_table will be searched."*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.net.addressing import IPAddress
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Node
+    from repro.sim.kernel import Simulator
+
+#: Sentinel ``via`` meaning "attached directly to this base station".
+DIRECT = None
+
+
+@dataclass
+class LocationRecord:
+    """One ``(mn, via)`` downward pointer with its expiry time."""
+
+    mobile: IPAddress
+    via: Optional["Node"]
+    expires: float
+    stored_at: float
+
+    @property
+    def is_direct(self) -> bool:
+        return self.via is None
+
+
+class CellTable:
+    """A micro_table or macro_table with soft-state records."""
+
+    def __init__(self, sim: "Simulator", name: str, record_lifetime: float) -> None:
+        if record_lifetime <= 0:
+            raise ValueError(f"record_lifetime must be positive, got {record_lifetime}")
+        self.sim = sim
+        self.name = name
+        self.record_lifetime = record_lifetime
+        self._records: dict[IPAddress, LocationRecord] = {}
+        self.stores = 0
+        self.hits = 0
+        self.misses = 0
+        self.deletes = 0
+        self.expirations = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, mobile) -> bool:
+        return self.get(mobile) is not None
+
+    def store(self, mobile, via: Optional["Node"]) -> LocationRecord:
+        """Insert or refresh the record for ``mobile``."""
+        mobile = IPAddress(mobile)
+        now = self.sim.now
+        record = LocationRecord(
+            mobile=mobile,
+            via=via,
+            expires=now + self.record_lifetime,
+            stored_at=now,
+        )
+        self._records[mobile] = record
+        self.stores += 1
+        return record
+
+    def get(self, mobile) -> Optional[LocationRecord]:
+        """The live record for ``mobile``, purging it if expired."""
+        mobile = IPAddress(mobile)
+        record = self._records.get(mobile)
+        if record is None:
+            self.misses += 1
+            return None
+        if record.expires <= self.sim.now:
+            del self._records[mobile]
+            self.expirations += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def peek(self, mobile) -> Optional[LocationRecord]:
+        """Like :meth:`get` but without touching hit/miss counters."""
+        mobile = IPAddress(mobile)
+        record = self._records.get(mobile)
+        if record is None or record.expires <= self.sim.now:
+            return None
+        return record
+
+    def delete(self, mobile) -> bool:
+        """Explicit erase (Delete Location Message, §3.2)."""
+        mobile = IPAddress(mobile)
+        if mobile in self._records:
+            del self._records[mobile]
+            self.deletes += 1
+            return True
+        return False
+
+    def purge_expired(self) -> int:
+        now = self.sim.now
+        stale = [mn for mn, record in self._records.items() if record.expires <= now]
+        for mn in stale:
+            del self._records[mn]
+        self.expirations += len(stale)
+        return len(stale)
+
+    def mobiles(self) -> list[IPAddress]:
+        return [
+            mn
+            for mn, record in self._records.items()
+            if record.expires > self.sim.now
+        ]
+
+
+class TablePair:
+    """The paper's per-BS table set with its two-step lookup.
+
+    Micro-cell base stations have only a ``micro_table``; macro-cell
+    base stations have both.  ``lookup`` returns the record and counts
+    the number of tables probed (the paper's lookup-cost metric).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        record_lifetime: float,
+        has_macro_table: bool,
+    ) -> None:
+        self.micro_table = CellTable(sim, "micro", record_lifetime)
+        self.macro_table = (
+            CellTable(sim, "macro", record_lifetime) if has_macro_table else None
+        )
+
+    def store(self, mobile, via: Optional["Node"], serving_tier_is_macro: bool) -> None:
+        """File the record in the table matching the MN's serving tier."""
+        if serving_tier_is_macro and self.macro_table is not None:
+            self.macro_table.store(mobile, via)
+            # A fresher macro record invalidates any stale micro record.
+            self.micro_table.delete(mobile)
+        else:
+            self.micro_table.store(mobile, via)
+            if self.macro_table is not None:
+                self.macro_table.delete(mobile)
+
+    def lookup(self, mobile) -> tuple[Optional[LocationRecord], int]:
+        """(record, tables probed) — micro_table first, then macro_table."""
+        record = self.micro_table.get(mobile)
+        if record is not None:
+            return record, 1
+        if self.macro_table is None:
+            return None, 1
+        record = self.macro_table.get(mobile)
+        return record, 2
+
+    def delete(self, mobile) -> bool:
+        deleted = self.micro_table.delete(mobile)
+        if self.macro_table is not None:
+            deleted = self.macro_table.delete(mobile) or deleted
+        return deleted
+
+    def total_records(self) -> int:
+        total = len(self.micro_table)
+        if self.macro_table is not None:
+            total += len(self.macro_table)
+        return total

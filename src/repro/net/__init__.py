@@ -1,0 +1,29 @@
+"""Packet-level IP network substrate: addresses, packets, links,
+routers and topology construction."""
+
+from repro.net.addressing import AddressAllocator, IPAddress, Prefix, ip
+from repro.net.link import Link, LinkStats, connect
+from repro.net.node import Node
+from repro.net.packet import IP_HEADER_BYTES, Packet, decapsulate, encapsulate
+from repro.net.router import ForwardingTable, Router
+from repro.net.topology import Network, binary_tree_topology, star_topology
+
+__all__ = [
+    "AddressAllocator",
+    "ForwardingTable",
+    "IPAddress",
+    "IP_HEADER_BYTES",
+    "Link",
+    "LinkStats",
+    "Network",
+    "Node",
+    "Packet",
+    "Prefix",
+    "Router",
+    "binary_tree_topology",
+    "connect",
+    "decapsulate",
+    "encapsulate",
+    "ip",
+    "star_topology",
+]

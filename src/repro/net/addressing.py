@@ -1,0 +1,151 @@
+"""IPv4 addresses and prefixes.
+
+Addresses are plain ``int`` wrapped in a tiny value type so they format
+nicely and cannot be confused with packet sizes or ports.  The paper's
+architecture is explicitly IPv4 ("a multi-tier solution base on the
+current IP (IPv4)"), so 32-bit addressing is used throughout.
+"""
+
+from __future__ import annotations
+
+from functools import total_ordering
+from typing import Iterator, Union
+
+_MAX = (1 << 32) - 1
+
+
+@total_ordering
+class IPAddress:
+    """A 32-bit IPv4 address."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: Union[int, str, "IPAddress"]) -> None:
+        if isinstance(value, IPAddress):
+            self._value = value._value
+            return
+        if isinstance(value, str):
+            self._value = _parse_dotted(value)
+            return
+        if isinstance(value, int):
+            if not 0 <= value <= _MAX:
+                raise ValueError(f"address out of range: {value}")
+            self._value = value
+            return
+        raise TypeError(f"cannot make an IPAddress from {value!r}")
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __index__(self) -> int:
+        return self._value
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IPAddress):
+            return self._value == other._value
+        if isinstance(other, int):
+            return self._value == other
+        return NotImplemented
+
+    def __lt__(self, other: "IPAddress") -> bool:
+        return self._value < int(other)
+
+    def __hash__(self) -> int:
+        return hash(self._value)
+
+    def __repr__(self) -> str:
+        return f"IPAddress({str(self)!r})"
+
+    def __str__(self) -> str:
+        value = self._value
+        return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+    def __add__(self, offset: int) -> "IPAddress":
+        return IPAddress(self._value + offset)
+
+
+def _parse_dotted(text: str) -> int:
+    parts = text.strip().split(".")
+    if len(parts) != 4:
+        raise ValueError(f"malformed IPv4 address: {text!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            raise ValueError(f"malformed IPv4 address: {text!r}")
+        octet = int(part)
+        if octet > 255:
+            raise ValueError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def ip(value: Union[int, str, IPAddress]) -> IPAddress:
+    """Convenience constructor: ``ip("10.0.0.1")``."""
+    return IPAddress(value)
+
+
+class Prefix:
+    """An IPv4 network prefix such as ``10.1.0.0/16``."""
+
+    __slots__ = ("network", "length", "_mask")
+
+    def __init__(self, network: Union[int, str, IPAddress], length: int = None) -> None:
+        if isinstance(network, str) and "/" in network:
+            if length is not None:
+                raise ValueError("length given twice")
+            network, _slash, length_text = network.partition("/")
+            length = int(length_text)
+        if length is None:
+            raise ValueError("prefix length required")
+        if not 0 <= length <= 32:
+            raise ValueError(f"prefix length out of range: {length}")
+        self.length = length
+        self._mask = (_MAX << (32 - length)) & _MAX if length else 0
+        base = int(IPAddress(network))
+        self.network = IPAddress(base & self._mask)
+
+    @property
+    def mask(self) -> int:
+        return self._mask
+
+    def __contains__(self, address: Union[int, str, IPAddress]) -> bool:
+        return (int(IPAddress(address)) & self._mask) == int(self.network)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Prefix):
+            return NotImplemented
+        return self.network == other.network and self.length == other.length
+
+    def __hash__(self) -> int:
+        return hash((int(self.network), self.length))
+
+    def __repr__(self) -> str:
+        return f"Prefix({str(self)!r})"
+
+    def __str__(self) -> str:
+        return f"{self.network}/{self.length}"
+
+    def hosts(self, count: int, start: int = 1) -> Iterator[IPAddress]:
+        """Yield ``count`` host addresses inside this prefix."""
+        base = int(self.network)
+        size = 1 << (32 - self.length)
+        if start + count > size:
+            raise ValueError(f"prefix {self} cannot hold {count} hosts from {start}")
+        for offset in range(start, start + count):
+            yield IPAddress(base + offset)
+
+
+class AddressAllocator:
+    """Hands out sequential host addresses from a prefix."""
+
+    def __init__(self, prefix: Union[str, Prefix]) -> None:
+        self.prefix = prefix if isinstance(prefix, Prefix) else Prefix(prefix)
+        self._next = 1
+
+    def allocate(self) -> IPAddress:
+        size = 1 << (32 - self.prefix.length)
+        if self._next >= size - 1:
+            raise RuntimeError(f"prefix {self.prefix} exhausted")
+        address = IPAddress(int(self.prefix.network) + self._next)
+        self._next += 1
+        return address

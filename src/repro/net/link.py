@@ -1,0 +1,193 @@
+"""Point-to-point links with bandwidth, propagation delay and a finite
+drop-tail queue.
+
+A link is unidirectional; :func:`connect` wires a bidirectional pair.
+The implementation is callback-based (no per-link process): each link
+tracks when its transmitter frees up and schedules packet arrival
+directly, which keeps large topologies cheap to simulate.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Node
+    from repro.net.packet import Packet
+    from repro.sim.kernel import Simulator
+
+
+class LinkStats:
+    """Per-link counters (including per-protocol delivered hops)."""
+
+    __slots__ = (
+        "sent",
+        "delivered",
+        "dropped_queue",
+        "dropped_error",
+        "bytes_sent",
+        "protocol_hops",
+    )
+
+    def __init__(self) -> None:
+        self.sent = 0
+        self.delivered = 0
+        self.dropped_queue = 0
+        self.dropped_error = 0
+        self.bytes_sent = 0
+        #: protocol tag -> number of packets delivered over this link.
+        self.protocol_hops: dict[str, int] = {}
+
+
+class Link:
+    """A unidirectional link from ``head`` to ``tail``.
+
+    Every instance registers itself in :attr:`Link.registry` so
+    whole-network accounting (e.g. the T1 signalling table) can sum
+    per-protocol hop counts without threading a context object through
+    every constructor.  Call :meth:`Link.reset_registry` at scenario
+    start.
+
+    Parameters
+    ----------
+    bandwidth:
+        Transmission rate in bits per second.
+    delay:
+        Propagation delay in seconds.
+    queue_limit:
+        Maximum packets queued or in serialization before tail-drop.
+    loss_rate:
+        Independent per-packet corruption probability (0 for wired links).
+    """
+
+    #: All links created since the last reset (accounting only).
+    registry: list["Link"] = []
+
+    @classmethod
+    def reset_registry(cls) -> None:
+        cls.registry = []
+
+    @classmethod
+    def protocol_hop_totals(cls) -> dict[str, int]:
+        """Sum of per-protocol delivered hops over all registered links."""
+        totals: dict[str, int] = {}
+        for link in cls.registry:
+            for protocol, count in link.stats.protocol_hops.items():
+                totals[protocol] = totals.get(protocol, 0) + count
+        return totals
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        head: "Node",
+        tail: "Node",
+        bandwidth: float = 100e6,
+        delay: float = 0.001,
+        queue_limit: int = 100,
+        loss_rate: float = 0.0,
+        name: Optional[str] = None,
+    ) -> None:
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        if queue_limit < 1:
+            raise ValueError(f"queue_limit must be at least 1, got {queue_limit}")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self.sim = sim
+        self.head = head
+        self.tail = tail
+        self.bandwidth = bandwidth
+        self.delay = delay
+        self.queue_limit = queue_limit
+        self.loss_rate = loss_rate
+        self.name = name or f"{head.name}->{tail.name}"
+        self.stats = LinkStats()
+        self._busy_until = 0.0
+        self._in_flight = 0
+        self._loss_draw = None  # lazily bound RNG for lossy links
+        self.up = True
+        Link.registry.append(self)
+
+    def __repr__(self) -> str:
+        return f"<Link {self.name} {self.bandwidth/1e6:g}Mbps {self.delay*1e3:g}ms>"
+
+    def serialization_time(self, packet: "Packet") -> float:
+        return packet.size * 8.0 / self.bandwidth
+
+    @property
+    def queue_depth(self) -> int:
+        """Packets currently queued or being serialized."""
+        return self._in_flight
+
+    def transmit(self, packet: "Packet") -> bool:
+        """Enqueue ``packet`` for transmission.
+
+        Returns False if the packet was tail-dropped (queue full or link
+        down); True if it was accepted (it may still be lost to random
+        errors in flight).
+        """
+        if not self.up:
+            self.stats.dropped_queue += 1
+            return False
+        if self._in_flight >= self.queue_limit:
+            self.stats.dropped_queue += 1
+            return False
+
+        now = self.sim.now
+        start = max(now, self._busy_until)
+        finish = start + self.serialization_time(packet)
+        self._busy_until = finish
+        self._in_flight += 1
+        self.stats.sent += 1
+        self.stats.bytes_sent += packet.size
+
+        arrival_delay = (finish + self.delay) - now
+        self.sim.schedule(arrival_delay, self._deliver, packet)
+        return True
+
+    def _deliver(self, packet: "Packet") -> None:
+        self._in_flight -= 1
+        if not self.up:
+            self.stats.dropped_error += 1
+            return
+        if self.loss_rate > 0.0 and self._random_loss():
+            self.stats.dropped_error += 1
+            return
+        self.stats.delivered += 1
+        hops = self.stats.protocol_hops
+        hops[packet.protocol] = hops.get(packet.protocol, 0) + 1
+        self.tail.receive(packet, self)
+
+    def _random_loss(self) -> bool:
+        if self._loss_draw is None:
+            import random
+            import zlib
+
+            # crc32, not hash(): str hashes are salted per process and
+            # would make loss patterns unreproducible across runs.
+            seed = zlib.crc32(self.name.encode("utf-8"))
+            self._loss_draw = random.Random(seed).random
+        return self._loss_draw() < self.loss_rate
+
+
+def connect(
+    sim: "Simulator",
+    a: "Node",
+    b: "Node",
+    bandwidth: float = 100e6,
+    delay: float = 0.001,
+    queue_limit: int = 100,
+    loss_rate: float = 0.0,
+) -> tuple[Link, Link]:
+    """Create a bidirectional connection: two mirrored links.
+
+    Registers each direction with the endpoint nodes so routing can find
+    the outgoing link by neighbor.
+    """
+    forward = Link(sim, a, b, bandwidth, delay, queue_limit, loss_rate)
+    backward = Link(sim, b, a, bandwidth, delay, queue_limit, loss_rate)
+    a.attach_link(forward)
+    b.attach_link(backward)
+    return forward, backward

@@ -1,0 +1,89 @@
+"""IP routers with longest-prefix-match forwarding."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.net.addressing import IPAddress, Prefix
+from repro.net.node import Node
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.link import Link
+    from repro.net.packet import Packet
+    from repro.sim.kernel import Simulator
+
+
+class ForwardingTable:
+    """Longest-prefix-match table mapping prefixes to next-hop nodes.
+
+    Entries are bucketed by prefix length so lookup probes at most 33
+    dictionaries, longest first — simple and fast enough for simulated
+    topologies while behaving exactly like real LPM.
+    """
+
+    def __init__(self) -> None:
+        # _buckets[length] maps masked-network-int -> next hop.
+        self._buckets: dict[int, dict[int, Node]] = {}
+        self._default: Optional[Node] = None
+
+    def add(self, prefix: Prefix, next_hop: Node) -> None:
+        bucket = self._buckets.setdefault(prefix.length, {})
+        bucket[int(prefix.network)] = next_hop
+
+    def add_host(self, address, next_hop: Node) -> None:
+        """Install a /32 host route."""
+        self.add(Prefix(IPAddress(address), 32), next_hop)
+
+    def remove(self, prefix: Prefix) -> None:
+        bucket = self._buckets.get(prefix.length)
+        if bucket:
+            bucket.pop(int(prefix.network), None)
+
+    def set_default(self, next_hop: Optional[Node]) -> None:
+        self._default = next_hop
+
+    def lookup(self, address) -> Optional[Node]:
+        value = int(IPAddress(address))
+        for length in sorted(self._buckets, reverse=True):
+            mask = ((1 << 32) - 1) << (32 - length) if length else 0
+            next_hop = self._buckets[length].get(value & mask & ((1 << 32) - 1))
+            if next_hop is not None:
+                return next_hop
+        return self._default
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+
+class Router(Node):
+    """A node that forwards packets it does not own via LPM."""
+
+    def __init__(self, sim: "Simulator", name: str, address=None) -> None:
+        super().__init__(sim, name, address)
+        self.table = ForwardingTable()
+        self.forwarded_count = 0
+        self.dropped_no_route = 0
+        self.dropped_ttl = 0
+
+    def add_route(self, prefix, next_hop: Node) -> None:
+        if not isinstance(prefix, Prefix):
+            prefix = Prefix(prefix)
+        self.table.add(prefix, next_hop)
+
+    def add_host_route(self, address, next_hop: Node) -> None:
+        self.table.add_host(address, next_hop)
+
+    def set_default_route(self, next_hop: Optional[Node]) -> None:
+        self.table.set_default(next_hop)
+
+    def forward(self, packet: "Packet", link: Optional["Link"]) -> None:
+        if packet.ttl <= 1:
+            self.dropped_ttl += 1
+            return
+        next_hop = self.table.lookup(packet.dst)
+        if next_hop is None:
+            self.dropped_no_route += 1
+            return
+        packet.ttl -= 1
+        self.forwarded_count += 1
+        self.send_via(next_hop, packet)

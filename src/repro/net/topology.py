@@ -1,0 +1,158 @@
+"""Topology builder: assemble nodes and links, then install static
+shortest-path routes (Dijkstra over propagation delay via networkx).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import networkx as nx
+
+from repro.net.addressing import AddressAllocator, IPAddress
+from repro.net.link import Link, connect
+from repro.net.node import Node
+from repro.net.router import Router
+from repro.sim.kernel import Simulator
+
+
+class Network:
+    """A container for one simulated internetwork."""
+
+    def __init__(self, sim: Simulator, prefix: str = "10.0.0.0/8") -> None:
+        self.sim = sim
+        self.nodes: dict[str, Node] = {}
+        self.links: list[Link] = []
+        self.allocator = AddressAllocator(prefix)
+
+    # ------------------------------------------------------------------
+    def add(self, node: Node) -> Node:
+        """Register an externally built node."""
+        if node.name in self.nodes:
+            raise ValueError(f"duplicate node name {node.name!r}")
+        self.nodes[node.name] = node
+        return node
+
+    def host(self, name: str, address=None) -> Node:
+        """Create and register a plain host."""
+        node = Node(self.sim, name, address or self.allocator.allocate())
+        return self.add(node)
+
+    def router(self, name: str, address=None) -> Router:
+        """Create and register a router."""
+        node = Router(self.sim, name, address or self.allocator.allocate())
+        return self.add(node)
+
+    def __getitem__(self, name: str) -> Node:
+        return self.nodes[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.nodes
+
+    # ------------------------------------------------------------------
+    def connect(
+        self,
+        a: Union[str, Node],
+        b: Union[str, Node],
+        bandwidth: float = 100e6,
+        delay: float = 0.001,
+        queue_limit: int = 100,
+        loss_rate: float = 0.0,
+    ) -> tuple[Link, Link]:
+        """Create a bidirectional link pair between two nodes."""
+        node_a = self.nodes[a] if isinstance(a, str) else a
+        node_b = self.nodes[b] if isinstance(b, str) else b
+        forward, backward = connect(
+            self.sim, node_a, node_b, bandwidth, delay, queue_limit, loss_rate
+        )
+        self.links.extend((forward, backward))
+        return forward, backward
+
+    # ------------------------------------------------------------------
+    def graph(self) -> nx.DiGraph:
+        """The topology as a directed graph weighted by link delay."""
+        graph = nx.DiGraph()
+        for node in self.nodes.values():
+            graph.add_node(node)
+        for link in self.links:
+            graph.add_edge(link.head, link.tail, weight=link.delay, link=link)
+        return graph
+
+    def install_routes(self) -> None:
+        """Install host routes for every addressed node at every router.
+
+        Uses all-pairs Dijkstra over propagation delay.  Later route
+        changes (Mobile IP bindings, Cellular IP caches, the paper's
+        location tables) override these static routes through their own
+        mechanisms.
+        """
+        graph = self.graph()
+        routers = [node for node in self.nodes.values() if isinstance(node, Router)]
+        paths = dict(nx.all_pairs_dijkstra_path(graph, weight="weight"))
+        for router in routers:
+            reachable = paths.get(router, {})
+            for target, path in reachable.items():
+                if target is router or len(path) < 2:
+                    continue
+                next_hop = path[1]
+                for address in target.addresses:
+                    router.table.add_host(address, next_hop)
+
+    def path_delay(self, a: Union[str, Node], b: Union[str, Node]) -> float:
+        """Total one-way propagation delay along the shortest path."""
+        node_a = self.nodes[a] if isinstance(a, str) else a
+        node_b = self.nodes[b] if isinstance(b, str) else b
+        return nx.dijkstra_path_length(self.graph(), node_a, node_b, weight="weight")
+
+    def find_node_owning(self, address) -> Optional[Node]:
+        """The node that owns ``address``, if any."""
+        target = IPAddress(address)
+        for node in self.nodes.values():
+            if node.owns(target):
+                return node
+        return None
+
+
+def star_topology(
+    sim: Simulator,
+    center_name: str = "gw",
+    leaf_count: int = 4,
+    bandwidth: float = 100e6,
+    delay: float = 0.001,
+) -> Network:
+    """A gateway router with ``leaf_count`` leaf routers — the shape of a
+    Cellular IP access network's first level."""
+    network = Network(sim)
+    network.router(center_name)
+    for index in range(leaf_count):
+        name = f"{center_name}-leaf{index}"
+        network.router(name)
+        network.connect(center_name, name, bandwidth=bandwidth, delay=delay)
+    network.install_routes()
+    return network
+
+
+def binary_tree_topology(
+    sim: Simulator,
+    depth: int,
+    root_name: str = "root",
+    bandwidth: float = 100e6,
+    delay: float = 0.001,
+) -> Network:
+    """A complete binary tree of routers — the canonical Cellular IP
+    evaluation topology (gateway at the root, base stations at leaves)."""
+    if depth < 1:
+        raise ValueError("depth must be at least 1")
+    network = Network(sim)
+    network.router(root_name)
+    frontier = [root_name]
+    for level in range(1, depth):
+        next_frontier = []
+        for parent in frontier:
+            for side in ("l", "r"):
+                child = f"{parent}.{side}"
+                network.router(child)
+                network.connect(parent, child, bandwidth=bandwidth, delay=delay)
+                next_frontier.append(child)
+        frontier = next_frontier
+    network.install_routes()
+    return network

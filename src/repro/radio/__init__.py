@@ -1,0 +1,40 @@
+"""Radio substrate: geometry, cells and tiers, propagation, signal
+measurement and handoff triggering."""
+
+from repro.radio.cells import TIER_DEFAULTS, Cell, Tier, best_covering_cell
+from repro.radio.geometry import (
+    ORIGIN,
+    Point,
+    Rectangle,
+    centroid,
+    grid_positions,
+    hex_positions,
+)
+from repro.radio.propagation import (
+    NOISE_FLOOR_DBM,
+    PropagationModel,
+    free_space_path_loss_db,
+    log_distance_path_loss_db,
+)
+from repro.radio.signal import HandoffDetector, HandoffTrigger, Measurement, SignalMeter
+
+__all__ = [
+    "Cell",
+    "HandoffDetector",
+    "HandoffTrigger",
+    "Measurement",
+    "NOISE_FLOOR_DBM",
+    "ORIGIN",
+    "Point",
+    "PropagationModel",
+    "Rectangle",
+    "SignalMeter",
+    "TIER_DEFAULTS",
+    "Tier",
+    "best_covering_cell",
+    "centroid",
+    "free_space_path_loss_db",
+    "grid_positions",
+    "hex_positions",
+    "log_distance_path_loss_db",
+]

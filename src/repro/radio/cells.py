@@ -1,0 +1,99 @@
+"""Cells and tiers.
+
+The paper's architecture (§2.1, §4) has a cellular hierarchy of
+pico-, micro- and macro-cells (satellite is mentioned but out of scope
+of its mobility management, which focuses on micro and macro).  Each
+tier differs in coverage radius, offered per-user bandwidth and how
+well it suits fast-moving users.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.radio.geometry import Point
+
+
+class Tier(enum.IntEnum):
+    """Cell tiers, ordered small to large coverage."""
+
+    PICO = 0
+    MICRO = 1
+    MACRO = 2
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+#: Default physical parameters per tier: coverage radius (m), per-user
+#: downlink bandwidth (bit/s), transmit power (dBm EIRP), channel count.
+#: Values follow the usual 3G-era multi-tier literature the paper cites
+#: (Ganz/Haas/Krishna '96; Iera et al. '99): pico = in-building,
+#: micro = urban street, macro = suburban umbrella.  EIRP is set so the
+#: link budget closes at the nominal cell edge under the default
+#: log-distance model (exponent 3.5, -95 dBm usable floor): an MN at
+#: the edge of the cell is audible, just barely.
+TIER_DEFAULTS = {
+    Tier.PICO: {"radius": 60.0, "bandwidth": 2e6, "tx_power_dbm": 20.0, "channels": 16},
+    Tier.MICRO: {"radius": 400.0, "bandwidth": 384e3, "tx_power_dbm": 36.0, "channels": 32},
+    Tier.MACRO: {"radius": 2500.0, "bandwidth": 144e3, "tx_power_dbm": 65.0, "channels": 64},
+}
+
+
+@dataclass
+class Cell:
+    """One cell: a coverage disc served by a base station."""
+
+    name: str
+    center: Point
+    tier: Tier
+    radius: float = 0.0
+    bandwidth: float = 0.0
+    tx_power_dbm: float = 0.0
+    channels: int = 0
+
+    def __post_init__(self) -> None:
+        defaults = TIER_DEFAULTS[self.tier]
+        if self.radius <= 0:
+            self.radius = defaults["radius"]
+        if self.bandwidth <= 0:
+            self.bandwidth = defaults["bandwidth"]
+        if self.tx_power_dbm == 0.0:
+            self.tx_power_dbm = defaults["tx_power_dbm"]
+        if self.channels <= 0:
+            self.channels = defaults["channels"]
+
+    def covers(self, point: Point) -> bool:
+        return self.center.distance_to(point) <= self.radius
+
+    def distance_to(self, point: Point) -> float:
+        return self.center.distance_to(point)
+
+    def edge_proximity(self, point: Point) -> float:
+        """0 at the center, 1 at the coverage edge, >1 outside."""
+        return self.center.distance_to(point) / self.radius
+
+    def __repr__(self) -> str:
+        return f"<Cell {self.name} {self.tier.label} r={self.radius:g}m>"
+
+
+def best_covering_cell(
+    cells: list[Cell], point: Point, tier: Optional[Tier] = None
+) -> Optional[Cell]:
+    """The covering cell with the smallest edge proximity (strongest
+    nominal signal), optionally restricted to one tier."""
+    best: Optional[Cell] = None
+    best_proximity = float("inf")
+    for cell in cells:
+        if tier is not None and cell.tier is not tier:
+            continue
+        if not cell.covers(point):
+            continue
+        proximity = cell.edge_proximity(point)
+        if proximity < best_proximity:
+            best = cell
+            best_proximity = proximity
+    return best

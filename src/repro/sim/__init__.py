@@ -1,0 +1,55 @@
+"""Discrete-event simulation kernel.
+
+Public surface::
+
+    from repro.sim import Simulator, Interrupt, Resource, Store
+
+    sim = Simulator()
+    sim.process(my_generator(sim))
+    sim.run(until=100.0)
+"""
+
+from repro.sim.errors import EmptySchedule, Interrupt, SimulationError
+from repro.sim.events import (
+    NORMAL,
+    URGENT,
+    AllOf,
+    AnyOf,
+    Condition,
+    ConditionValue,
+    Event,
+    Process,
+    Timeout,
+)
+from repro.sim.kernel import Simulator
+from repro.sim.monitor import Counter, Monitor, Series, TimeWeightedGauge
+from repro.sim.resources import GuardedChannelPool, Preempted, Request, Resource
+from repro.sim.rng import RandomStreams
+from repro.sim.stores import FilterStore, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "ConditionValue",
+    "Counter",
+    "EmptySchedule",
+    "Event",
+    "FilterStore",
+    "GuardedChannelPool",
+    "Interrupt",
+    "Monitor",
+    "NORMAL",
+    "Preempted",
+    "Process",
+    "RandomStreams",
+    "Request",
+    "Resource",
+    "Series",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "TimeWeightedGauge",
+    "Timeout",
+    "URGENT",
+]

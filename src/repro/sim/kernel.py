@@ -1,0 +1,176 @@
+"""The discrete-event simulator core.
+
+:class:`Simulator` owns the virtual clock and the event queue.  It is the
+only stateful singleton in a simulation; every entity (link, base
+station, protocol engine) holds a reference to it and schedules work
+through it.
+
+Example
+-------
+>>> sim = Simulator()
+>>> def pinger(sim, log):
+...     while sim.now < 3:
+...         yield sim.timeout(1.0)
+...         log.append(sim.now)
+>>> log = []
+>>> _ = sim.process(pinger(sim, log))
+>>> sim.run()
+>>> log
+[1.0, 2.0, 3.0]
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from itertools import count
+from typing import Iterable, Optional, Union
+
+from repro.sim.errors import EmptySchedule, SimulationError, StopSimulation
+from repro.sim.events import (
+    NORMAL,
+    URGENT,
+    AllOf,
+    AnyOf,
+    Event,
+    Process,
+    ProcessGenerator,
+    Timeout,
+)
+
+Until = Union[None, float, int, Event]
+
+
+class Simulator:
+    """A minimal but complete discrete-event simulation kernel."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_process: Optional[Process] = None
+
+    # ------------------------------------------------------------------
+    # Clock and scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    def _enqueue(self, event: Event, delay: float, priority: int = NORMAL) -> None:
+        """Place a triggered event on the queue ``delay`` units from now."""
+        heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+
+    def schedule(self, delay: float, callback, *args) -> Event:
+        """Run ``callback(*args)`` after ``delay`` time units.
+
+        Returns the underlying :class:`Timeout` event, so callers may also
+        wait on it.  This is the lightweight alternative to spawning a
+        process for fire-and-forget work.
+        """
+        event = Timeout(self, delay)
+        event.callbacks.append(lambda _event: callback(*args))
+        return event
+
+    # ------------------------------------------------------------------
+    # Event factories
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create a new untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        """Create an event that triggers ``delay`` units in the future."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: Optional[str] = None) -> Process:
+        """Start a new process driving ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that triggers when all of ``events`` have triggered."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that triggers when any of ``events`` has triggered."""
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none remain."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event from the queue."""
+        try:
+            when, _priority, _eid, event = heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+        self._now = when
+
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # Nobody handled a failed event: surface the error loudly.
+            exc = event._value
+            raise exc
+
+    def run(self, until: Until = None) -> object:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until the event queue is exhausted;
+        * a number — run all events strictly before that time, then set
+          ``now`` to it;
+        * an :class:`Event` — run until that event has been processed and
+          return its value (raises :class:`SimulationError` if the queue
+          empties first).
+        """
+        stop_at: Optional[float] = None
+        if until is not None:
+            if isinstance(until, Event):
+                if until.callbacks is None:
+                    # Already processed.
+                    return until._value
+                until.callbacks.append(self._stop_on_event)
+            else:
+                stop_at = float(until)
+                if stop_at < self._now:
+                    raise ValueError(
+                        f"until ({stop_at}) must not be before now ({self._now})"
+                    )
+
+        try:
+            while self._queue:
+                if stop_at is not None and self._queue[0][0] > stop_at:
+                    break
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+        if isinstance(until, Event):
+            raise SimulationError(
+                "event queue ran empty before the target event triggered"
+            )
+        if stop_at is not None:
+            self._now = stop_at
+        return None
+
+    @staticmethod
+    def _stop_on_event(event: Event) -> None:
+        if not event._ok:
+            event._defused = True
+            raise event._value
+        raise StopSimulation(event._value)
+
+
+__all__ = ["Simulator", "Until", "NORMAL", "URGENT"]

@@ -1,0 +1,148 @@
+"""Measurement probes: counters, gauges and time series.
+
+Monitors are deliberately dumb containers; statistical reduction lives
+in :mod:`repro.metrics.stats` so that raw samples stay available for
+tests and for confidence-interval computation across replications.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only move forward")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Series:
+    """A time series of (time, value) samples."""
+
+    __slots__ = ("name", "times", "values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def mean(self) -> float:
+        return float(np.mean(self.values)) if self.values else float("nan")
+
+    def last(self) -> float:
+        return self.values[-1] if self.values else float("nan")
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        return np.asarray(self.times), np.asarray(self.values)
+
+
+class TimeWeightedGauge:
+    """A level (e.g. queue length) integrated over time.
+
+    The time average is the integral of the level divided by the
+    observation window — the standard estimator for time-persistent
+    statistics.
+    """
+
+    __slots__ = ("name", "_sim", "_level", "_last_change", "_area", "_start")
+
+    def __init__(self, sim: "Simulator", name: str, initial: float = 0.0) -> None:
+        self._sim = sim
+        self.name = name
+        self._level = initial
+        self._last_change = sim.now
+        self._start = sim.now
+        self._area = 0.0
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def set(self, level: float) -> None:
+        now = self._sim.now
+        self._area += self._level * (now - self._last_change)
+        self._level = level
+        self._last_change = now
+
+    def adjust(self, delta: float) -> None:
+        self.set(self._level + delta)
+
+    def time_average(self) -> float:
+        now = self._sim.now
+        elapsed = now - self._start
+        if elapsed <= 0:
+            return self._level
+        area = self._area + self._level * (now - self._last_change)
+        return area / elapsed
+
+
+class Monitor:
+    """A namespace of named counters, gauges and series for one run."""
+
+    def __init__(self, sim: Optional["Simulator"] = None) -> None:
+        self._sim = sim
+        self.counters: dict[str, Counter] = {}
+        self.series: dict[str, Series] = {}
+        self.gauges: dict[str, TimeWeightedGauge] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def count(self, name: str, amount: int = 1) -> None:
+        self.counter(name).increment(amount)
+
+    def get_count(self, name: str) -> int:
+        counter = self.counters.get(name)
+        return counter.value if counter else 0
+
+    def timeseries(self, name: str) -> Series:
+        if name not in self.series:
+            self.series[name] = Series(name)
+        return self.series[name]
+
+    def record(self, name: str, time: float, value: float) -> None:
+        self.timeseries(name).record(time, value)
+
+    def gauge(self, name: str, initial: float = 0.0) -> TimeWeightedGauge:
+        if name not in self.gauges:
+            if self._sim is None:
+                raise ValueError("gauges require a Monitor bound to a Simulator")
+            self.gauges[name] = TimeWeightedGauge(self._sim, name, initial)
+        return self.gauges[name]
+
+    def snapshot(self) -> dict[str, float]:
+        """A flat dict of every counter value and gauge time-average."""
+        result: dict[str, float] = {}
+        for name, counter in self.counters.items():
+            result[f"count.{name}"] = counter.value
+        for name, gauge in self.gauges.items():
+            result[f"gauge.{name}"] = gauge.time_average()
+        for name, series in self.series.items():
+            result[f"series.{name}.mean"] = series.mean()
+        return result

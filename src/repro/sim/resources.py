@@ -1,0 +1,205 @@
+"""Shared-resource primitives: capacity-limited resources with priority
+queueing and optional preemption.
+
+These model radio channels, processing slots and any other contended
+facility.  Usage follows the familiar request/release protocol::
+
+    channel = Resource(sim, capacity=8)
+
+    def caller(sim, channel):
+        request = channel.request()
+        yield request
+        try:
+            yield sim.timeout(call_duration)
+        finally:
+            channel.release(request)
+
+Requests may also be used as context managers so that the release is
+guaranteed::
+
+    with channel.request() as request:
+        yield request
+        yield sim.timeout(call_duration)
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from itertools import count
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.events import Event, Process
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+class Preempted:
+    """Cause object delivered with the Interrupt when a user is preempted."""
+
+    __slots__ = ("by", "usage_since")
+
+    def __init__(self, by: "Request", usage_since: float) -> None:
+        #: The request that preempted us.
+        self.by = by
+        #: Simulation time at which the preempted user acquired the resource.
+        self.usage_since = usage_since
+
+    def __repr__(self) -> str:
+        return f"<Preempted by={self.by!r} since={self.usage_since}>"
+
+
+class Request(Event):
+    """A pending or granted claim on a :class:`Resource` slot."""
+
+    __slots__ = ("resource", "priority", "preempt", "time", "process", "usage_since")
+
+    def __init__(
+        self, resource: "Resource", priority: int = 0, preempt: bool = False
+    ) -> None:
+        super().__init__(resource.sim)
+        self.resource = resource
+        #: Numerically smaller priorities are served first.
+        self.priority = priority
+        self.preempt = preempt
+        self.time = resource.sim.now
+        #: The process that issued the request (None outside a process).
+        self.process: Optional[Process] = resource.sim.active_process
+        #: When the request was granted, for preemption bookkeeping.
+        self.usage_since: Optional[float] = None
+        resource._do_request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.resource.release(self)
+
+    # Sort key for the wait queue.
+    def _key(self) -> tuple:
+        return (self.priority, self.time, not self.preempt)
+
+
+class Resource:
+    """A capacity-limited resource with priority queueing.
+
+    ``capacity`` slots may be held simultaneously.  Waiting requests are
+    served in (priority, arrival-time) order.  With ``preemptive=True``,
+    a request carrying ``preempt=True`` evicts the lowest-priority
+    current user if that user's priority is strictly worse.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, preemptive: bool = False):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.sim = sim
+        self._capacity = capacity
+        self._preemptive = preemptive
+        self.users: list[Request] = []
+        self._queue: list[tuple[tuple, int, Request]] = []
+        self._tiebreak = count()
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    @property
+    def free(self) -> int:
+        """Number of slots currently available."""
+        return self._capacity - len(self.users)
+
+    @property
+    def queued(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    def request(self, priority: int = 0, preempt: bool = False) -> Request:
+        """Claim a slot; the returned event triggers once granted."""
+        if preempt and not self._preemptive:
+            raise ValueError("preempt=True on a non-preemptive resource")
+        return Request(self, priority=priority, preempt=preempt)
+
+    def release(self, request: Request) -> None:
+        """Return a slot (or cancel a waiting request)."""
+        if request in self.users:
+            self.users.remove(request)
+            self._grant_next()
+            return
+        # Cancelling a queued request: lazily mark it; it is skipped when
+        # popped.  (Removal from the middle of a heap is O(n).)
+        request.resource = None  # type: ignore[assignment]
+
+    def _do_request(self, request: Request) -> None:
+        if len(self.users) < self._capacity:
+            self._grant(request)
+            return
+        if self._preemptive and request.preempt:
+            victim = self._preemption_victim(request)
+            if victim is not None:
+                self.users.remove(victim)
+                if victim.process is not None and victim.process.is_alive:
+                    victim.process.interrupt(
+                        Preempted(by=request, usage_since=victim.usage_since or 0.0)
+                    )
+                self._grant(request)
+                return
+        heappush(self._queue, (request._key(), next(self._tiebreak), request))
+
+    def _preemption_victim(self, request: Request) -> Optional[Request]:
+        """The current user to evict for ``request``, or None."""
+        if not self.users:
+            return None
+        victim = max(self.users, key=lambda user: (user.priority, user.time))
+        if victim.priority > request.priority:
+            return victim
+        return None
+
+    def _grant(self, request: Request) -> None:
+        request.usage_since = self.sim.now
+        self.users.append(request)
+        request.succeed(request)
+
+    def _grant_next(self) -> None:
+        while self._queue and len(self.users) < self._capacity:
+            _key, _tb, request = heappop(self._queue)
+            if request.resource is None or request.triggered:
+                continue  # cancelled
+            self._grant(request)
+
+
+class GuardedChannelPool(Resource):
+    """A channel pool with *guard channels* reserved for handoffs.
+
+    A classic cellular admission policy: of ``capacity`` channels, the
+    last ``guard`` may only be taken by handoff requests.  New calls are
+    blocked once ``capacity - guard`` channels are busy; handoffs are
+    blocked only when every channel is busy.  This is the "resources of
+    BS" decision factor in the paper's handoff strategy (§3.2).
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int, guard: int = 0) -> None:
+        if guard < 0 or guard >= capacity:
+            raise ValueError(f"guard must be in [0, capacity), got {guard}")
+        super().__init__(sim, capacity=capacity)
+        self.guard = guard
+
+    def admit_new_call(self) -> Optional[Request]:
+        """Try to admit a new call; returns a granted request or ``None``."""
+        if len(self.users) >= self._capacity - self.guard:
+            return None
+        request = Request(self)
+        return request if request.triggered else None
+
+    def admit_handoff(self) -> Optional[Request]:
+        """Try to admit a handoff; returns a granted request or ``None``."""
+        if len(self.users) >= self._capacity:
+            return None
+        request = Request(self)
+        return request if request.triggered else None

@@ -1,0 +1,148 @@
+"""Producer/consumer stores for passing objects between processes.
+
+A :class:`Store` is an unordered buffer with blocking ``put``/``get``;
+:class:`FilterStore` adds predicate-based retrieval.  These model
+packet queues, mailboxes and handoff buffers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+class StorePut(Event):
+    """Triggered once the item has been accepted by the store."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: object) -> None:
+        super().__init__(store.sim)
+        self.item = item
+        store._do_put(self)
+
+
+class StoreGet(Event):
+    """Triggered with the retrieved item as its value."""
+
+    __slots__ = ("filter",)
+
+    def __init__(
+        self, store: "Store", item_filter: Optional[Callable[[object], bool]] = None
+    ) -> None:
+        super().__init__(store.sim)
+        self.filter = item_filter
+        store._do_get(self)
+
+    def cancel(self) -> None:
+        """Withdraw an unfulfilled get request."""
+        self.filter = _never
+
+
+def _never(_item: object) -> bool:
+    return False
+
+
+class Store:
+    """A FIFO buffer of Python objects with optional finite capacity."""
+
+    def __init__(self, sim: "Simulator", capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: deque = deque()
+        self._putters: deque[StorePut] = deque()
+        self._getters: deque[StoreGet] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    # ------------------------------------------------------------------
+    def put(self, item: object) -> StorePut:
+        """Offer ``item``; the event triggers when the store accepts it."""
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        """Request one item; the event triggers with the item as value."""
+        return StoreGet(self)
+
+    def try_put(self, item: object) -> bool:
+        """Non-blocking put; returns False if the store is full."""
+        if len(self.items) >= self.capacity and not self._getters:
+            return False
+        self.put(item)
+        return True
+
+    def try_get(self) -> Optional[object]:
+        """Non-blocking get; returns None if the store is empty."""
+        if not self.items:
+            return None
+        item = self.items.popleft()
+        self._serve_putters()
+        return item
+
+    # ------------------------------------------------------------------
+    def _do_put(self, event: StorePut) -> None:
+        if len(self.items) < self.capacity:
+            self.items.append(event.item)
+            event.succeed()
+            self._serve_getters()
+        else:
+            self._putters.append(event)
+
+    def _do_get(self, event: StoreGet) -> None:
+        item = self._match(event)
+        if item is not _NO_MATCH:
+            event.succeed(item)
+            self._serve_putters()
+        else:
+            self._getters.append(event)
+
+    def _match(self, event: StoreGet):
+        if event.filter is None:
+            if self.items:
+                return self.items.popleft()
+            return _NO_MATCH
+        for index, item in enumerate(self.items):
+            if event.filter(item):
+                del self.items[index]
+                return item
+        return _NO_MATCH
+
+    def _serve_getters(self) -> None:
+        remaining: deque[StoreGet] = deque()
+        while self._getters:
+            getter = self._getters.popleft()
+            if getter.triggered:
+                continue
+            item = self._match(getter)
+            if item is _NO_MATCH:
+                remaining.append(getter)
+            else:
+                getter.succeed(item)
+        self._getters = remaining
+
+    def _serve_putters(self) -> None:
+        while self._putters and len(self.items) < self.capacity:
+            putter = self._putters.popleft()
+            if putter.triggered:
+                continue
+            self.items.append(putter.item)
+            putter.succeed()
+            self._serve_getters()
+
+
+_NO_MATCH = object()
+
+
+class FilterStore(Store):
+    """A store whose consumers may select items with a predicate."""
+
+    def get(self, item_filter: Optional[Callable[[object], bool]] = None) -> StoreGet:
+        return StoreGet(self, item_filter)

@@ -1,0 +1,21 @@
+"""Traffic generation and receive-side measurement."""
+
+from repro.traffic.sink import FlowSink
+from repro.traffic.sources import (
+    CBRSource,
+    ElasticSource,
+    OnOffSource,
+    PoissonSource,
+    TrafficSource,
+    VBRVideoSource,
+)
+
+__all__ = [
+    "CBRSource",
+    "ElasticSource",
+    "FlowSink",
+    "OnOffSource",
+    "PoissonSource",
+    "TrafficSource",
+    "VBRVideoSource",
+]

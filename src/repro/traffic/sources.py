@@ -1,0 +1,289 @@
+"""Traffic sources for the multimedia workloads the paper motivates.
+
+Each source is a process that emits packets through a ``send``
+callable (``send(packet) -> bool``); the caller decides whether that
+means a CN streaming downlink or a mobile talking uplink.  Sources
+stamp ``flow_id``/``seq`` so sinks can compute loss and reordering.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Callable, Optional
+
+import numpy as np
+
+from repro.net.addressing import IPAddress
+from repro.net.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+SendFn = Callable[[Packet], bool]
+_flow_ids = itertools.count(1)
+
+
+class TrafficSource:
+    """Base class: sequence numbering and bookkeeping."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        send: SendFn,
+        src: IPAddress,
+        dst: IPAddress,
+        flow_id: Optional[str] = None,
+    ) -> None:
+        self.sim = sim
+        self._send = send
+        self.src = IPAddress(src)
+        self.dst = IPAddress(dst)
+        self.flow_id = flow_id or f"flow-{next(_flow_ids)}"
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        self._sequence = itertools.count()
+        self.process = None
+
+    def start(self) -> "TrafficSource":
+        self.process = self.sim.process(self._run(), name=f"src-{self.flow_id}")
+        return self
+
+    def _emit(self, size: int) -> bool:
+        packet = Packet(
+            src=self.src,
+            dst=self.dst,
+            size=size,
+            protocol="data",
+            flow_id=self.flow_id,
+            seq=next(self._sequence),
+            created_at=self.sim.now,
+        )
+        accepted = self._send(packet)
+        if accepted is not False:
+            self.packets_sent += 1
+            self.bytes_sent += size
+        return accepted
+
+    def _run(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+        yield
+
+
+class CBRSource(TrafficSource):
+    """Constant bit rate: fixed-size packets at a fixed interval.
+
+    The canonical voice/video transport model; ``rate_bps`` and
+    ``packet_size`` determine the interval.
+    """
+
+    def __init__(
+        self,
+        sim,
+        send,
+        src,
+        dst,
+        rate_bps: float = 64e3,
+        packet_size: int = 200,
+        duration: Optional[float] = None,
+        flow_id: Optional[str] = None,
+    ) -> None:
+        super().__init__(sim, send, src, dst, flow_id)
+        if rate_bps <= 0 or packet_size <= 0:
+            raise ValueError("rate and packet size must be positive")
+        self.packet_size = packet_size
+        self.interval = packet_size * 8.0 / rate_bps
+        self.duration = duration
+
+    def _run(self):
+        stop_at = None if self.duration is None else self.sim.now + self.duration
+        while stop_at is None or self.sim.now < stop_at:
+            self._emit(self.packet_size)
+            yield self.sim.timeout(self.interval)
+
+
+class PoissonSource(TrafficSource):
+    """Poisson packet arrivals (exponential gaps) — bursty data."""
+
+    def __init__(
+        self,
+        sim,
+        send,
+        src,
+        dst,
+        rng: np.random.Generator,
+        mean_rate_pps: float = 50.0,
+        packet_size: int = 500,
+        duration: Optional[float] = None,
+        flow_id: Optional[str] = None,
+    ) -> None:
+        super().__init__(sim, send, src, dst, flow_id)
+        if mean_rate_pps <= 0:
+            raise ValueError("rate must be positive")
+        self._rng = rng
+        self.mean_gap = 1.0 / mean_rate_pps
+        self.packet_size = packet_size
+        self.duration = duration
+
+    def _run(self):
+        stop_at = None if self.duration is None else self.sim.now + self.duration
+        while stop_at is None or self.sim.now < stop_at:
+            yield self.sim.timeout(float(self._rng.exponential(self.mean_gap)))
+            self._emit(self.packet_size)
+
+
+class OnOffSource(TrafficSource):
+    """Exponential on/off voice model: CBR talkspurts, silent gaps."""
+
+    def __init__(
+        self,
+        sim,
+        send,
+        src,
+        dst,
+        rng: np.random.Generator,
+        rate_bps: float = 64e3,
+        packet_size: int = 200,
+        mean_on: float = 1.0,
+        mean_off: float = 1.35,
+        duration: Optional[float] = None,
+        flow_id: Optional[str] = None,
+    ) -> None:
+        super().__init__(sim, send, src, dst, flow_id)
+        self._rng = rng
+        self.packet_size = packet_size
+        self.interval = packet_size * 8.0 / rate_bps
+        self.mean_on = mean_on
+        self.mean_off = mean_off
+        self.duration = duration
+
+    def _run(self):
+        stop_at = None if self.duration is None else self.sim.now + self.duration
+        while stop_at is None or self.sim.now < stop_at:
+            burst_end = self.sim.now + float(self._rng.exponential(self.mean_on))
+            while self.sim.now < burst_end:
+                self._emit(self.packet_size)
+                yield self.sim.timeout(self.interval)
+            yield self.sim.timeout(float(self._rng.exponential(self.mean_off)))
+
+
+class VBRVideoSource(TrafficSource):
+    """Variable-bit-rate video: AR(1)-correlated frame sizes at a fixed
+    frame rate, fragmented into MTU-sized packets.
+
+    This approximates MPEG-style rate variation without codec detail;
+    QoS behaviour depends on burstiness, which ``burstiness`` controls.
+    """
+
+    def __init__(
+        self,
+        sim,
+        send,
+        src,
+        dst,
+        rng: np.random.Generator,
+        mean_rate_bps: float = 384e3,
+        frame_rate: float = 25.0,
+        burstiness: float = 0.5,
+        correlation: float = 0.8,
+        mtu: int = 1000,
+        duration: Optional[float] = None,
+        flow_id: Optional[str] = None,
+    ) -> None:
+        super().__init__(sim, send, src, dst, flow_id)
+        if not 0.0 <= correlation < 1.0:
+            raise ValueError("correlation must be in [0, 1)")
+        if burstiness < 0:
+            raise ValueError("burstiness must be non-negative")
+        self._rng = rng
+        self.frame_interval = 1.0 / frame_rate
+        self.mean_frame_bytes = mean_rate_bps / frame_rate / 8.0
+        self.burstiness = burstiness
+        self.correlation = correlation
+        self.mtu = mtu
+        self.duration = duration
+        self._state = 0.0
+        self.frames_sent = 0
+
+    def _next_frame_bytes(self) -> int:
+        rho = self.correlation
+        noise = float(self._rng.normal(0.0, 1.0))
+        self._state = rho * self._state + np.sqrt(1 - rho * rho) * noise
+        factor = max(0.1, 1.0 + self.burstiness * self._state)
+        return max(64, int(self.mean_frame_bytes * factor))
+
+    def _run(self):
+        stop_at = None if self.duration is None else self.sim.now + self.duration
+        while stop_at is None or self.sim.now < stop_at:
+            frame_bytes = self._next_frame_bytes()
+            self.frames_sent += 1
+            remaining = frame_bytes
+            while remaining > 0:
+                fragment = min(remaining, self.mtu)
+                self._emit(fragment)
+                remaining -= fragment
+            yield self.sim.timeout(self.frame_interval)
+
+
+class ElasticSource(TrafficSource):
+    """A greedy AIMD source: a coarse TCP stand-in.
+
+    Sends a window of packets, waits for sink feedback via
+    :meth:`acknowledge`, grows additively on clean windows and halves
+    on any loss.  Good enough to show handoff-loss -> throughput-dip
+    dynamics without a full TCP implementation.
+    """
+
+    def __init__(
+        self,
+        sim,
+        send,
+        src,
+        dst,
+        packet_size: int = 1000,
+        initial_window: int = 2,
+        max_window: int = 64,
+        feedback_timeout: float = 0.5,
+        duration: Optional[float] = None,
+        flow_id: Optional[str] = None,
+    ) -> None:
+        super().__init__(sim, send, src, dst, flow_id)
+        self.packet_size = packet_size
+        self.window = float(initial_window)
+        self.max_window = max_window
+        self.feedback_timeout = feedback_timeout
+        self.duration = duration
+        self._acknowledged: set[int] = set()
+        self._feedback_event = None
+        self.windows_clean = 0
+        self.windows_lossy = 0
+
+    def acknowledge(self, seq: int) -> None:
+        """Sink-side callback: mark ``seq`` received."""
+        self._acknowledged.add(seq)
+        if self._feedback_event is not None and not self._feedback_event.triggered:
+            self._feedback_event.succeed()
+
+    def _run(self):
+        stop_at = None if self.duration is None else self.sim.now + self.duration
+        next_seq = 0
+        while stop_at is None or self.sim.now < stop_at:
+            burst = max(1, int(self.window))
+            sent = []
+            for _ in range(burst):
+                self._emit(self.packet_size)
+                sent.append(next_seq)
+                next_seq += 1
+            # Wait for the window to be acknowledged (or time out).
+            deadline = self.sim.timeout(self.feedback_timeout)
+            while not all(seq in self._acknowledged for seq in sent):
+                self._feedback_event = self.sim.event()
+                outcome = yield self.sim.any_of([self._feedback_event, deadline])
+                if deadline in outcome:
+                    break
+            if all(seq in self._acknowledged for seq in sent):
+                self.window = min(self.window + 1.0, self.max_window)
+                self.windows_clean += 1
+            else:
+                self.window = max(1.0, self.window / 2.0)
+                self.windows_lossy += 1
+            yield self.sim.timeout(0.01)

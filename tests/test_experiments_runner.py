@@ -1,0 +1,124 @@
+"""Tests for the experiment harness: replication, sweeps, the scheme
+baselines and the CLI."""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    run_cip_hard,
+    run_cip_semisoft,
+    run_mobileip,
+    run_multitier_rsmc,
+)
+from repro.experiments.runner import replicate, sweep
+
+
+def test_replicate_aggregates_metrics():
+    def scenario(seed):
+        return {"value": float(seed), "constant": 2.0}
+
+    replication = replicate(scenario, seeds=[1, 2, 3])
+    assert replication.mean("value") == pytest.approx(2.0)
+    assert replication["constant"].half_width == 0.0
+    assert replication.samples["value"] == [1.0, 2.0, 3.0]
+
+
+def test_replicate_confidence_interval_contains_mean():
+    def scenario(seed):
+        return {"value": float(seed % 5)}
+
+    replication = replicate(scenario, seeds=range(20))
+    estimate = replication["value"]
+    assert estimate.low <= estimate.mean <= estimate.high
+    assert estimate.n == 20
+
+
+def test_sweep_builds_series_and_text():
+    def make_scenario(x):
+        def scenario(seed):
+            return {"doubled": 2.0 * x, "seeded": float(seed)}
+
+        return scenario
+
+    result = sweep(
+        "TEST",
+        "a test sweep",
+        "x",
+        [1, 2, 3],
+        make_scenario,
+        seeds=[1, 2],
+        metric_names=["doubled", "seeded"],
+    )
+    assert result.series["doubled"] == [2.0, 4.0, 6.0]
+    assert result.series["seeded"] == [1.5, 1.5, 1.5]
+    assert "a test sweep" in result.text
+    assert result.series_mean("doubled") == pytest.approx(4.0)
+
+
+def test_all_experiments_registry_complete():
+    expected = {
+        "E1", "E2", "E3", "E4", "E5/E6", "E7", "E7b", "E8", "E8b", "E9",
+        "E10", "E11", "T1", "T2", "AB1", "AB2",
+    }
+    assert set(ALL_EXPERIMENTS) == expected
+
+
+@pytest.mark.parametrize(
+    "runner",
+    [run_mobileip, run_cip_hard, run_cip_semisoft, run_multitier_rsmc],
+    ids=["mobile-ip", "cip-hard", "cip-semisoft", "multitier-rsmc"],
+)
+def test_baseline_schemes_produce_complete_metrics(runner):
+    metrics = runner(seed=1, handoffs=2, handoff_interval=1.0, duration=4.0)
+    for key in ("loss_rate", "mean_delay", "jitter", "max_gap", "sent", "received"):
+        assert key in metrics
+        assert not math.isnan(metrics[key]) or key == "mean_delay"
+    assert metrics["sent"] > 0
+    assert 0.0 <= metrics["loss_rate"] <= 1.0
+    assert metrics["received"] <= metrics["sent"]
+
+
+def test_e8_ordering_holds_on_single_seed():
+    """The headline ordering must hold even without averaging."""
+    results = {
+        name: runner(seed=3, handoffs=4, handoff_interval=1.5, duration=8.0)
+        for name, runner in (
+            ("mip", run_mobileip),
+            ("hard", run_cip_hard),
+            ("semisoft", run_cip_semisoft),
+            ("rsmc", run_multitier_rsmc),
+        )
+    }
+    assert results["mip"]["loss_rate"] > results["hard"]["loss_rate"]
+    assert results["hard"]["loss_rate"] >= results["semisoft"]["loss_rate"]
+    assert results["rsmc"]["loss_rate"] <= results["hard"]["loss_rate"]
+    assert results["mip"]["mean_delay"] > results["hard"]["mean_delay"]
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_list(capsys):
+    from repro.cli import main
+
+    assert main(["list"]) == 0
+    output = capsys.readouterr().out
+    assert "E8" in output and "T1" in output
+
+
+def test_cli_run_writes_output(tmp_path, capsys):
+    from repro.cli import main
+
+    assert main(["run", "T1", "-o", str(tmp_path)]) == 0
+    output = capsys.readouterr().out
+    assert "T1:" in output
+    assert (tmp_path / "t1.txt").exists()
+
+
+def test_cli_rejects_unknown_experiment(capsys):
+    from repro.cli import main
+
+    assert main(["run", "E99"]) == 2
+    assert "unknown" in capsys.readouterr().err

@@ -1,0 +1,234 @@
+"""Tests for geometry, cells, propagation and handoff triggering."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.radio import (
+    Cell,
+    HandoffDetector,
+    Point,
+    PropagationModel,
+    Rectangle,
+    SignalMeter,
+    Tier,
+    best_covering_cell,
+    free_space_path_loss_db,
+    grid_positions,
+    hex_positions,
+    log_distance_path_loss_db,
+)
+
+
+# ----------------------------------------------------------------------
+# Geometry
+# ----------------------------------------------------------------------
+def test_point_distance():
+    assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+
+def test_point_towards_does_not_overshoot():
+    start = Point(0, 0)
+    assert start.towards(Point(10, 0), 4.0) == Point(4.0, 0.0)
+    assert start.towards(Point(2, 0), 100.0) == Point(2, 0)
+
+
+def test_rectangle_contains_and_clamp():
+    box = Rectangle(0, 0, 10, 10)
+    assert box.contains(Point(5, 5))
+    assert not box.contains(Point(11, 5))
+    assert box.clamp(Point(-3, 15)) == Point(0, 10)
+
+
+def test_rectangle_reflect():
+    box = Rectangle(0, 0, 10, 10)
+    reflected, flip_x, flip_y = box.reflect(Point(12, 5))
+    assert reflected == Point(8, 5)
+    assert flip_x and not flip_y
+
+
+def test_rectangle_degenerate_rejected():
+    with pytest.raises(ValueError):
+        Rectangle(0, 0, 0, 10)
+
+
+def test_grid_positions_count_and_containment():
+    box = Rectangle(0, 0, 100, 100)
+    points = list(grid_positions(box, rows=3, columns=4))
+    assert len(points) == 12
+    assert all(box.contains(point) for point in points)
+
+
+def test_hex_positions_ring_counts():
+    points = list(hex_positions(Point(0, 0), radius=100.0, rings=2))
+    # 1 center + 6 + 12.
+    assert len(points) == 19
+
+
+# ----------------------------------------------------------------------
+# Cells
+# ----------------------------------------------------------------------
+def test_cell_defaults_by_tier():
+    micro = Cell("m1", Point(0, 0), Tier.MICRO)
+    macro = Cell("M1", Point(0, 0), Tier.MACRO)
+    assert macro.radius > micro.radius
+    assert micro.bandwidth > macro.bandwidth
+
+
+def test_cell_coverage():
+    cell = Cell("c", Point(0, 0), Tier.MICRO, radius=100.0)
+    assert cell.covers(Point(50, 0))
+    assert not cell.covers(Point(150, 0))
+    assert cell.edge_proximity(Point(50, 0)) == pytest.approx(0.5)
+
+
+def test_best_covering_cell_prefers_closest_relative():
+    near = Cell("near", Point(0, 0), Tier.MICRO, radius=100.0)
+    far = Cell("far", Point(300, 0), Tier.MICRO, radius=400.0)
+    best = best_covering_cell([near, far], Point(10, 0))
+    assert best is near
+
+
+def test_best_covering_cell_tier_filter():
+    micro = Cell("m", Point(0, 0), Tier.MICRO, radius=100.0)
+    macro = Cell("M", Point(0, 0), Tier.MACRO, radius=1000.0)
+    assert best_covering_cell([micro, macro], Point(0, 0), tier=Tier.MACRO) is macro
+
+
+def test_best_covering_cell_none_when_uncovered():
+    cell = Cell("c", Point(0, 0), Tier.PICO, radius=50.0)
+    assert best_covering_cell([cell], Point(500, 500)) is None
+
+
+# ----------------------------------------------------------------------
+# Propagation
+# ----------------------------------------------------------------------
+def test_free_space_loss_increases_with_distance():
+    assert free_space_path_loss_db(200.0) > free_space_path_loss_db(100.0)
+
+
+def test_free_space_loss_6db_per_doubling():
+    delta = free_space_path_loss_db(200.0) - free_space_path_loss_db(100.0)
+    assert delta == pytest.approx(20.0 * math.log10(2.0), abs=1e-9)
+
+
+def test_log_distance_exponent_controls_slope():
+    urban = log_distance_path_loss_db(1000.0, exponent=3.5)
+    free = log_distance_path_loss_db(1000.0, exponent=2.0)
+    assert urban > free
+
+
+def test_propagation_rx_power_monotonic():
+    model = PropagationModel(exponent=3.5)
+    near = model.received_power_dbm(30.0, 10.0)
+    far = model.received_power_dbm(30.0, 1000.0)
+    assert near > far
+
+
+def test_propagation_shadowing_requires_rng():
+    with pytest.raises(ValueError):
+        PropagationModel(shadowing_sigma_db=8.0)
+
+
+def test_propagation_shadowing_changes_samples():
+    rng = np.random.default_rng(7)
+    model = PropagationModel(exponent=3.5, shadowing_sigma_db=8.0, rng=rng)
+    samples = {model.received_power_dbm(30.0, 100.0) for _ in range(5)}
+    assert len(samples) > 1
+
+
+def test_range_for_threshold_inverts_loss():
+    model = PropagationModel(exponent=3.5)
+    rx_range = model.range_for_threshold(tx_power_dbm=30.0, rx_threshold_dbm=-90.0)
+    at_edge = model.received_power_dbm(30.0, rx_range)
+    assert at_edge == pytest.approx(-90.0, abs=0.1)
+
+
+def test_invalid_distance_rejected():
+    with pytest.raises(ValueError):
+        free_space_path_loss_db(0.0)
+    with pytest.raises(ValueError):
+        log_distance_path_loss_db(-5.0)
+
+
+# ----------------------------------------------------------------------
+# Signal meter and handoff detector
+# ----------------------------------------------------------------------
+def make_two_cell_meter():
+    # 400 m spacing: with 30 dBm tx, 3.5 exponent and a -95 dBm floor the
+    # audible radius is ~296 m, so the two cells overlap between x=104
+    # and x=296 (midpoint at x=200).
+    left = Cell("left", Point(0, 0), Tier.MICRO, radius=400.0, tx_power_dbm=30.0)
+    right = Cell("right", Point(400, 0), Tier.MICRO, radius=400.0, tx_power_dbm=30.0)
+    meter = SignalMeter(PropagationModel(exponent=3.5), [left, right])
+    return left, right, meter
+
+
+def test_survey_orders_by_strength():
+    left, right, meter = make_two_cell_meter()
+    survey = meter.survey(Point(150, 0))
+    assert len(survey) == 2
+    assert survey[0].cell is left
+    assert survey[0].rss_dbm > survey[1].rss_dbm
+
+
+def test_survey_excludes_cells_below_floor():
+    left, _right, meter = make_two_cell_meter()
+    survey = meter.survey(Point(10, 0))
+    assert [m.cell for m in survey] == [left]
+
+
+def test_detector_initial_attachment():
+    left, _right, meter = make_two_cell_meter()
+    detector = HandoffDetector(meter)
+    trigger = detector.check(None, Point(100, 0), now=0.0)
+    assert trigger is not None
+    assert trigger.target is left
+    assert trigger.reason == "initial"
+
+
+def test_detector_no_trigger_when_serving_strongest():
+    left, _right, meter = make_two_cell_meter()
+    detector = HandoffDetector(meter)
+    assert detector.check(left, Point(100, 0), now=0.0) is None
+
+
+def test_detector_hysteresis_blocks_marginal_improvement():
+    left, right, meter = make_two_cell_meter()
+    detector = HandoffDetector(meter, hysteresis_db=6.0)
+    # Just past the midpoint (x=210 of 200): right leads by ~1.5 dB,
+    # inside the 6 dB hysteresis margin.
+    assert detector.check(left, Point(210, 0), now=0.0) is None
+
+
+def test_detector_triggers_past_hysteresis():
+    left, right, meter = make_two_cell_meter()
+    detector = HandoffDetector(meter, hysteresis_db=4.0, drop_threshold_dbm=-100.0)
+    # x=280: distances 280 vs 120 -> ~12.9 dB advantage for right.
+    trigger = detector.check(left, Point(280, 0), now=0.0)
+    assert trigger is not None
+    assert trigger.target is right
+    assert trigger.reason == "hysteresis"
+    assert trigger.target_rss_dbm > trigger.serving_rss_dbm
+
+
+def test_detector_time_to_trigger_delays_handoff():
+    left, right, meter = make_two_cell_meter()
+    detector = HandoffDetector(
+        meter, hysteresis_db=4.0, drop_threshold_dbm=-100.0, time_to_trigger=2.0
+    )
+    position = Point(280, 0)
+    assert detector.check(left, position, now=0.0) is None
+    assert detector.check(left, position, now=1.0) is None
+    trigger = detector.check(left, position, now=2.5)
+    assert trigger is not None and trigger.target is right
+
+
+def test_detector_signal_lost_overrides_hysteresis():
+    left, right, meter = make_two_cell_meter()
+    detector = HandoffDetector(meter, hysteresis_db=100.0, drop_threshold_dbm=-80.0)
+    # x=280: serving (left) is ~-87 dBm, below the -80 drop threshold.
+    trigger = detector.check(left, Point(280, 0), now=0.0)
+    assert trigger is not None
+    assert trigger.reason == "signal-lost"

@@ -1,0 +1,300 @@
+"""Unit tests for the discrete-event kernel: clock, events, processes."""
+
+import pytest
+
+from repro.sim import (
+    EmptySchedule,
+    Interrupt,
+    SimulationError,
+    Simulator,
+)
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_clock_custom_start():
+    sim = Simulator(start=42.0)
+    assert sim.now == 42.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    sim.timeout(5.0)
+    sim.run()
+    assert sim.now == 5.0
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_run_until_time_stops_clock_exactly():
+    sim = Simulator()
+    sim.timeout(100.0)
+    sim.run(until=30.0)
+    assert sim.now == 30.0
+
+
+def test_run_until_past_time_rejected():
+    sim = Simulator(start=10.0)
+    with pytest.raises(ValueError):
+        sim.run(until=5.0)
+
+
+def test_events_process_in_time_order():
+    sim = Simulator()
+    order = []
+    for delay in (3.0, 1.0, 2.0):
+        sim.schedule(delay, order.append, delay)
+    sim.run()
+    assert order == [1.0, 2.0, 3.0]
+
+
+def test_simultaneous_events_fifo_order():
+    sim = Simulator()
+    order = []
+    for tag in range(5):
+        sim.schedule(1.0, order.append, tag)
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_step_on_empty_queue_raises():
+    sim = Simulator()
+    with pytest.raises(EmptySchedule):
+        sim.step()
+
+
+def test_process_runs_and_returns_value():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(2.0)
+        return "done"
+
+    process = sim.process(proc(sim))
+    result = sim.run(until=process)
+    assert result == "done"
+    assert sim.now == 2.0
+
+
+def test_process_waits_for_multiple_timeouts():
+    sim = Simulator()
+    times = []
+
+    def proc(sim):
+        for _ in range(3):
+            yield sim.timeout(1.5)
+            times.append(sim.now)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert times == [1.5, 3.0, 4.5]
+
+
+def test_process_can_wait_on_another_process():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(4.0)
+        return 99
+
+    def parent(sim, results):
+        value = yield sim.process(child(sim))
+        results.append((sim.now, value))
+
+    results = []
+    sim.process(parent(sim, results))
+    sim.run()
+    assert results == [(4.0, 99)]
+
+
+def test_event_succeed_delivers_value():
+    sim = Simulator()
+    event = sim.event()
+    got = []
+
+    def waiter(sim, event):
+        value = yield event
+        got.append(value)
+
+    sim.process(waiter(sim, event))
+    sim.schedule(2.0, event.succeed, "hello")
+    sim.run()
+    assert got == ["hello"]
+
+
+def test_event_cannot_trigger_twice():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed(1)
+    with pytest.raises(RuntimeError):
+        event.succeed(2)
+
+
+def test_event_fail_raises_in_waiting_process():
+    sim = Simulator()
+    event = sim.event()
+    caught = []
+
+    def waiter(sim, event):
+        try:
+            yield event
+        except ValueError as error:
+            caught.append(str(error))
+
+    sim.process(waiter(sim, event))
+    sim.schedule(1.0, event.fail, ValueError("boom"))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_failed_event_surfaces():
+    sim = Simulator()
+    event = sim.event()
+    sim.schedule(1.0, event.fail, ValueError("nobody caught me"))
+    with pytest.raises(ValueError, match="nobody caught me"):
+        sim.run()
+
+
+def test_process_exception_propagates_to_run():
+    sim = Simulator()
+
+    def bad(sim):
+        yield sim.timeout(1.0)
+        raise KeyError("broken process")
+
+    sim.process(bad(sim))
+    with pytest.raises(KeyError):
+        sim.run()
+
+
+def test_yielding_non_event_fails_the_process():
+    sim = Simulator()
+
+    def bad(sim):
+        yield 42
+
+    sim.process(bad(sim))
+    with pytest.raises(RuntimeError, match="non-event"):
+        sim.run()
+
+
+def test_yield_already_processed_event_resumes_immediately():
+    sim = Simulator()
+    log = []
+
+    def proc(sim):
+        timeout = sim.timeout(1.0, value="early")
+        yield sim.timeout(5.0)
+        value = yield timeout  # processed long ago
+        log.append((sim.now, value))
+
+    sim.process(proc(sim))
+    sim.run()
+    assert log == [(5.0, "early")]
+
+
+def test_run_until_event_queue_empty_is_error():
+    sim = Simulator()
+    never = sim.event()
+    sim.timeout(1.0)
+    with pytest.raises(SimulationError):
+        sim.run(until=never)
+
+
+def test_run_until_already_processed_event_returns_value():
+    sim = Simulator()
+    timeout = sim.timeout(1.0, value="v")
+    sim.run()
+    assert sim.run(until=timeout) == "v"
+
+
+def test_interrupt_wakes_sleeping_process():
+    sim = Simulator()
+    log = []
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as interrupt:
+            log.append((sim.now, interrupt.cause))
+
+    process = sim.process(sleeper(sim))
+    sim.schedule(3.0, process.interrupt, "wake-up")
+    sim.run()
+    assert log == [(3.0, "wake-up")]
+
+
+def test_interrupt_terminated_process_raises():
+    sim = Simulator()
+
+    def quick(sim):
+        yield sim.timeout(1.0)
+
+    process = sim.process(quick(sim))
+    sim.run()
+    with pytest.raises(RuntimeError):
+        process.interrupt()
+
+
+def test_process_cannot_interrupt_itself():
+    sim = Simulator()
+
+    def selfish(sim):
+        yield sim.timeout(0.0)
+        sim.active_process.interrupt()
+
+    sim.process(selfish(sim))
+    with pytest.raises(RuntimeError):
+        sim.run()
+
+
+def test_interrupted_process_can_continue():
+    sim = Simulator()
+    log = []
+
+    def tenacious(sim):
+        try:
+            yield sim.timeout(50.0)
+        except Interrupt:
+            pass
+        yield sim.timeout(2.0)
+        log.append(sim.now)
+
+    process = sim.process(tenacious(sim))
+    sim.schedule(10.0, process.interrupt)
+    sim.run()
+    assert log == [12.0]
+
+
+def test_schedule_callback_with_args():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda a, b: seen.append(a + b), 2, 3)
+    sim.run()
+    assert seen == [5]
+
+
+def test_process_is_alive_lifecycle():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(5.0)
+
+    process = sim.process(proc(sim))
+    assert process.is_alive
+    sim.run()
+    assert not process.is_alive
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulator()
+    assert sim.peek() == float("inf")
+    sim.timeout(7.0)
+    assert sim.peek() == 7.0

@@ -1,0 +1,75 @@
+"""Model-based property test: the TablePair against a reference dict.
+
+Hypothesis drives random sequences of store/delete/advance operations
+and checks the real implementation against an obviously correct model.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.multitier import TablePair
+from repro.net import Node, ip
+from repro.sim import Simulator
+
+LIFETIME = 10.0
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("store"),
+            st.integers(0, 3),       # which mobile
+            st.booleans(),           # serving tier is macro?
+        ),
+        st.tuples(st.just("delete"), st.integers(0, 3), st.none()),
+        st.tuples(
+            st.just("advance"),
+            st.floats(min_value=0.1, max_value=8.0),
+            st.none(),
+        ),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(ops=operations)
+def test_tablepair_matches_reference_model(ops):
+    sim = Simulator()
+    pair = TablePair(sim, record_lifetime=LIFETIME, has_macro_table=True)
+    via = Node(sim, "child")
+    # Reference: mobile -> (is_macro, expiry).
+    model: dict[int, tuple[bool, float]] = {}
+
+    for op, arg, extra in ops:
+        if op == "store":
+            pair.store(ip(f"10.0.0.{arg + 1}"), via, serving_tier_is_macro=extra)
+            model[arg] = (extra, sim.now + LIFETIME)
+        elif op == "delete":
+            pair.delete(ip(f"10.0.0.{arg + 1}"))
+            model.pop(arg, None)
+        else:  # advance
+            sim.timeout(arg)
+            sim.run()
+
+        # Invariants after every operation:
+        for mobile in range(4):
+            address = ip(f"10.0.0.{mobile + 1}")
+            expected = model.get(mobile)
+            expected_live = expected is not None and expected[1] > sim.now
+            record, probes = pair.lookup(address)
+            if expected_live:
+                assert record is not None, (mobile, sim.now, expected)
+                is_macro = expected[0]
+                # The paper's lookup order: micro probes cost 1, macro 2.
+                assert probes == (2 if is_macro else 1)
+            else:
+                assert record is None
+                assert probes == 2  # both tables probed on a miss
+        # Never two live records for the same mobile.
+        for mobile in range(4):
+            address = ip(f"10.0.0.{mobile + 1}")
+            live = int(address in pair.micro_table) + int(
+                pair.macro_table is not None and address in pair.macro_table
+            )
+            assert live <= 1

@@ -1,0 +1,284 @@
+"""Tests for traffic sources, sinks and the stats helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics import Estimate, format_series, format_table, mean_confidence, ratio
+from repro.net import Packet, ip
+from repro.sim import Simulator
+from repro.traffic import (
+    CBRSource,
+    ElasticSource,
+    FlowSink,
+    OnOffSource,
+    PoissonSource,
+    VBRVideoSource,
+)
+
+
+def collect(sim):
+    """A send callable that records (time, packet)."""
+    log = []
+
+    def send(packet):
+        log.append((sim.now, packet))
+        return True
+
+    return send, log
+
+
+# ----------------------------------------------------------------------
+# Sources
+# ----------------------------------------------------------------------
+def test_cbr_rate_and_spacing():
+    sim = Simulator()
+    send, log = collect(sim)
+    source = CBRSource(
+        sim, send, ip("10.0.0.1"), ip("10.0.0.2"),
+        rate_bps=80e3, packet_size=1000, duration=1.0,
+    ).start()
+    sim.run(until=2.0)
+    # 80 kbit/s at 1000 B -> one packet per 100 ms -> 10 packets in 1 s
+    # (11 if float drift lets the boundary emission through).
+    assert source.packets_sent in (10, 11)
+    gaps = {round(b - a, 9) for (a, _), (b, _) in zip(log, log[1:])}
+    assert gaps == {0.1}
+
+
+def test_cbr_sequences_increase():
+    sim = Simulator()
+    send, log = collect(sim)
+    CBRSource(sim, send, ip("10.0.0.1"), ip("10.0.0.2"), duration=0.5).start()
+    sim.run()
+    sequences = [packet.seq for _t, packet in log]
+    assert sequences == list(range(len(sequences)))
+
+
+def test_cbr_validation():
+    sim = Simulator()
+    send, _ = collect(sim)
+    with pytest.raises(ValueError):
+        CBRSource(sim, send, ip("10.0.0.1"), ip("10.0.0.2"), rate_bps=0)
+
+
+def test_poisson_mean_rate():
+    sim = Simulator()
+    send, log = collect(sim)
+    rng = np.random.default_rng(42)
+    PoissonSource(
+        sim, send, ip("10.0.0.1"), ip("10.0.0.2"),
+        rng, mean_rate_pps=100.0, duration=20.0,
+    ).start()
+    sim.run()
+    # 100 pps over 20 s -> ~2000; allow 15% slack.
+    assert 1700 < len(log) < 2300
+
+
+def test_onoff_produces_bursts_and_silences():
+    sim = Simulator()
+    send, log = collect(sim)
+    rng = np.random.default_rng(7)
+    OnOffSource(
+        sim, send, ip("10.0.0.1"), ip("10.0.0.2"),
+        rng, mean_on=0.5, mean_off=1.0, duration=30.0,
+    ).start()
+    sim.run()
+    gaps = [b - a for (a, _), (b, _) in zip(log, log[1:])]
+    packet_interval = 200 * 8 / 64e3
+    long_gaps = [g for g in gaps if g > packet_interval * 3]
+    assert long_gaps, "on/off source never went silent"
+    assert len(log) > 100
+
+
+def test_vbr_video_fragments_frames():
+    sim = Simulator()
+    send, log = collect(sim)
+    rng = np.random.default_rng(3)
+    source = VBRVideoSource(
+        sim, send, ip("10.0.0.1"), ip("10.0.0.2"),
+        rng, mean_rate_bps=400e3, frame_rate=25.0, mtu=500, duration=4.0,
+    ).start()
+    sim.run()
+    assert source.frames_sent == 100
+    assert all(packet.size <= 500 for _t, packet in log)
+    # Mean rate within 40% of nominal despite burstiness.
+    total_bits = sum(packet.size for _t, packet in log) * 8
+    assert 0.6 * 400e3 * 4 < total_bits < 1.4 * 400e3 * 4
+
+
+def test_vbr_validation():
+    sim = Simulator()
+    send, _ = collect(sim)
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        VBRVideoSource(sim, send, ip("10.0.0.1"), ip("10.0.0.2"), rng, correlation=1.5)
+
+
+def test_elastic_source_grows_when_acked():
+    sim = Simulator()
+    source_ref = {}
+
+    def send(packet):
+        # Instant perfect network: ack everything immediately.
+        sim.schedule(0.001, source_ref["src"].acknowledge, packet.seq)
+        return True
+
+    source = ElasticSource(
+        sim, send, ip("10.0.0.1"), ip("10.0.0.2"),
+        initial_window=2, duration=5.0,
+    )
+    source_ref["src"] = source
+    source.start()
+    sim.run()
+    assert source.windows_clean > 0
+    assert source.windows_lossy == 0
+    assert source.window > 2
+
+
+def test_elastic_source_backs_off_on_loss():
+    sim = Simulator()
+    source_ref = {}
+    counter = {"n": 0}
+
+    def send(packet):
+        counter["n"] += 1
+        if counter["n"] % 3 == 0:
+            return True  # swallowed: never acked
+        sim.schedule(0.001, source_ref["src"].acknowledge, packet.seq)
+        return True
+
+    source = ElasticSource(
+        sim, send, ip("10.0.0.1"), ip("10.0.0.2"),
+        initial_window=8, feedback_timeout=0.05, duration=3.0,
+    )
+    source_ref["src"] = source
+    source.start()
+    sim.run()
+    assert source.windows_lossy > 0
+
+
+# ----------------------------------------------------------------------
+# Sink
+# ----------------------------------------------------------------------
+def make_packet(seq, created_at=0.0, size=500, flow="f1"):
+    return Packet(
+        src=ip("10.0.0.1"), dst=ip("10.0.0.2"), size=size,
+        flow_id=flow, seq=seq, created_at=created_at,
+    )
+
+
+def test_sink_counts_and_loss():
+    sink = FlowSink("f1")
+    for seq in (0, 1, 3):
+        sink.on_packet(make_packet(seq), now=1.0)
+    assert sink.received == 3
+    assert sink.lost(5) == 2
+    assert sink.loss_rate(5) == pytest.approx(0.4)
+    assert sink.missing_sequences(5) == [2, 4]
+
+
+def test_sink_ignores_other_flows():
+    sink = FlowSink("f1")
+    sink.on_packet(make_packet(0, flow="other"), now=1.0)
+    assert sink.received == 0
+
+
+def test_sink_detects_duplicates_and_reordering():
+    sink = FlowSink("f1")
+    sink.on_packet(make_packet(0), now=1.0)
+    sink.on_packet(make_packet(2), now=1.1)
+    sink.on_packet(make_packet(1), now=1.2)  # late
+    sink.on_packet(make_packet(2), now=1.3)  # duplicate
+    assert sink.out_of_order == 1
+    assert sink.duplicates == 1
+    assert sink.received == 3
+
+
+def test_sink_delay_and_gap():
+    sink = FlowSink("f1")
+    sink.on_packet(make_packet(0, created_at=0.0), now=0.1)
+    sink.on_packet(make_packet(1, created_at=1.0), now=1.1)
+    sink.on_packet(make_packet(2, created_at=5.0), now=5.1)
+    assert sink.mean_delay() == pytest.approx(0.1)
+    assert sink.max_gap() == pytest.approx(4.0)
+
+
+def test_sink_jitter_zero_for_constant_transit():
+    sink = FlowSink("f1")
+    for seq in range(10):
+        sink.on_packet(make_packet(seq, created_at=seq * 0.1), now=seq * 0.1 + 0.05)
+    assert sink.jitter() == pytest.approx(0.0)
+
+
+def test_sink_jitter_positive_for_variable_transit():
+    sink = FlowSink("f1")
+    for seq in range(10):
+        transit = 0.05 if seq % 2 == 0 else 0.15
+        sink.on_packet(make_packet(seq, created_at=seq * 0.1), now=seq * 0.1 + transit)
+    assert sink.jitter() > 0.0
+
+
+def test_sink_throughput():
+    sink = FlowSink("f1")
+    for seq in range(11):
+        sink.on_packet(make_packet(seq, size=1000, created_at=0.0), now=seq * 0.1)
+    # 10,000 B over 1.0 s window (first to last) = 88 kbit/s.
+    assert sink.throughput_bps() == pytest.approx(11 * 1000 * 8 / 1.0, rel=0.01)
+
+
+def test_sink_summary_keys():
+    sink = FlowSink("f1")
+    sink.on_packet(make_packet(0), now=0.1)
+    summary = sink.summary(sent=2)
+    assert summary["received"] == 1
+    assert summary["loss_rate"] == pytest.approx(0.5)
+
+
+# ----------------------------------------------------------------------
+# Stats
+# ----------------------------------------------------------------------
+def test_mean_confidence_basics():
+    estimate = mean_confidence([1.0, 2.0, 3.0, 4.0, 5.0])
+    assert estimate.mean == pytest.approx(3.0)
+    assert estimate.n == 5
+    assert estimate.low < 3.0 < estimate.high
+
+
+def test_mean_confidence_single_sample():
+    estimate = mean_confidence([7.0])
+    assert estimate.mean == 7.0
+    assert estimate.half_width == 0.0
+
+
+def test_mean_confidence_empty():
+    estimate = mean_confidence([])
+    assert math.isnan(estimate.mean)
+
+
+def test_mean_confidence_constant_samples():
+    estimate = mean_confidence([2.0, 2.0, 2.0])
+    assert estimate.half_width == 0.0
+
+
+def test_estimate_str():
+    assert "±" in str(Estimate(3.0, 0.5, 5))
+    assert str(Estimate(3.0, 0.0, 5)) == "3"
+
+
+def test_ratio_handles_zero():
+    assert ratio(4.0, 2.0) == 2.0
+    assert math.isnan(ratio(1.0, 0.0))
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "value"], [["a", 1.0], ["bb", 22.5]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert "name" in lines[0] and "---" in lines[1]
+
+
+def test_format_series_columns():
+    text = format_series("x", [1, 2], {"y1": [10, 20], "y2": [30, 40]})
+    assert "y1" in text and "y2" in text and "40" in text
