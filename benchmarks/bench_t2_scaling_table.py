@@ -5,10 +5,17 @@ from benchmarks.conftest import run_once
 from repro.experiments import experiment_t2
 
 
-def test_bench_t2_scaling(benchmark, record_result):
+def test_bench_t2_scaling(benchmark, record_result, execution_backend):
+    # REPRO_BENCH_JOBS=N runs the four sweep points on N workers; the
+    # table is identical either way, only the wall-clock shrinks.
     result = run_once(
         benchmark,
-        lambda: experiment_t2(seeds=(1,), mobile_counts=(8, 16, 32, 64), duration=15.0),
+        lambda: experiment_t2(
+            seeds=(1,),
+            mobile_counts=(8, 16, 32, 64),
+            duration=15.0,
+            backend=execution_backend,
+        ),
     )
     record_result(result)
 

@@ -5,7 +5,12 @@ Usage::
     python -m repro list                # show available experiments
     python -m repro run E8              # run one experiment, print its table
     python -m repro run all             # run everything (takes a minute)
+    python -m repro run all --jobs 8    # same, on 8 worker processes
     python -m repro run E3 E8 -o out/   # also write rendered tables to files
+
+``--jobs N`` fans each experiment's (seed, sweep-point) scenario jobs
+out over N forked worker processes; results are identical to a serial
+run for the same seeds (see :mod:`repro.experiments.exec`).
 """
 
 from __future__ import annotations
@@ -15,7 +20,7 @@ import pathlib
 import sys
 import time
 
-from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments import ALL_EXPERIMENTS, backend_for_jobs, set_default_backend
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -40,6 +45,15 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write each rendered table to <dir>/<id>.txt",
     )
+    run.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for scenario jobs (default 1 = serial; "
+        "results are identical for any N)",
+    )
     return parser
 
 
@@ -62,19 +76,30 @@ def main(argv: list[str] | None = None) -> int:
         print(f"available: {', '.join(ALL_EXPERIMENTS)}", file=sys.stderr)
         return 2
 
-    for experiment_id in wanted:
-        started = time.perf_counter()
-        result = ALL_EXPERIMENTS[experiment_id]()
-        elapsed = time.perf_counter() - started
-        print(result.text)
-        if result.notes:
-            print(f"Notes: {result.notes}")
-        print(f"[{experiment_id} completed in {elapsed:.1f}s]\n")
-        if args.output_dir is not None:
-            args.output_dir.mkdir(parents=True, exist_ok=True)
-            safe_id = experiment_id.replace("/", "_").lower()
-            body = result.text + (f"\n\nNotes: {result.notes}\n" if result.notes else "")
-            (args.output_dir / f"{safe_id}.txt").write_text(body)
+    if args.jobs < 1:
+        print(f"--jobs must be at least 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    # Experiments pick the backend up via get_default_backend(), so the
+    # flag covers every replicate()/sweep() call they make.
+    previous_backend = set_default_backend(backend_for_jobs(args.jobs))
+    try:
+        for experiment_id in wanted:
+            started = time.perf_counter()
+            result = ALL_EXPERIMENTS[experiment_id]()
+            elapsed = time.perf_counter() - started
+            print(result.text)
+            if result.notes:
+                print(f"Notes: {result.notes}")
+            print(f"[{experiment_id} completed in {elapsed:.1f}s]\n")
+            if args.output_dir is not None:
+                args.output_dir.mkdir(parents=True, exist_ok=True)
+                safe_id = experiment_id.replace("/", "_").lower()
+                body = result.text + (
+                    f"\n\nNotes: {result.notes}\n" if result.notes else ""
+                )
+                (args.output_dir / f"{safe_id}.txt").write_text(body)
+    finally:
+        set_default_backend(previous_backend)
     return 0
 
 

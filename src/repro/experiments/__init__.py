@@ -1,5 +1,28 @@
 """Experiment harness: scenario builders, baselines and one function
-per reproduced figure/table."""
+per reproduced figure/table.
+
+Execution engine
+----------------
+Every experiment routes its per-(seed, sweep-point) scenario jobs
+through a pluggable :class:`~repro.experiments.exec.ExecutionBackend`
+(see :mod:`repro.experiments.exec`):
+
+* :class:`~repro.experiments.exec.SerialBackend` (the default) runs
+  jobs in order in-process and is bit-identical to the historic serial
+  code path;
+* :class:`~repro.experiments.exec.ProcessPoolBackend` fans the same
+  jobs out over forked worker processes — ``repro run E8 --jobs 8`` on
+  the CLI, or ``experiment_e8(backend=ProcessPoolBackend(8))`` from
+  code.
+
+**Determinism guarantee:** a scenario derives all randomness from its
+seed via :class:`repro.sim.rng.RandomStreams`, builds its own
+:class:`~repro.sim.kernel.Simulator` (whose link registry scopes
+whole-network accounting to that world), and returns plain floats.
+Backends only decide *where* jobs run; results are aggregated in job
+order, so every backend — and every job count — produces identical
+metrics for the same seed list.
+"""
 
 from repro.experiments.ablations import (
     ablation_buffer_size,
@@ -15,6 +38,15 @@ from repro.experiments.baselines import (
     run_cip_semisoft,
     run_mobileip,
     run_multitier_rsmc,
+    run_scheme,
+)
+from repro.experiments.exec import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    backend_for_jobs,
+    get_default_backend,
+    set_default_backend,
 )
 from repro.experiments.elastic import experiment_e8b
 from repro.experiments.load import experiment_e11
@@ -33,6 +65,7 @@ from repro.experiments.runner import (
     ExperimentResult,
     Replication,
     replicate,
+    replicate_grid,
     sweep,
 )
 
@@ -57,11 +90,15 @@ ALL_EXPERIMENTS = {
 
 __all__ = [
     "ALL_EXPERIMENTS",
+    "ExecutionBackend",
     "ExperimentResult",
+    "ProcessPoolBackend",
     "Replication",
     "SCHEMES",
+    "SerialBackend",
     "ablation_buffer_size",
     "ablation_record_lifetime",
+    "backend_for_jobs",
     "build_cip_world",
     "experiment_e1",
     "experiment_e2",
@@ -77,10 +114,14 @@ __all__ = [
     "experiment_e11",
     "experiment_t1",
     "experiment_t2",
+    "get_default_backend",
     "replicate",
+    "replicate_grid",
     "run_cip_hard",
     "run_cip_semisoft",
     "run_mobileip",
     "run_multitier_rsmc",
+    "run_scheme",
+    "set_default_backend",
     "sweep",
 ]

@@ -3,12 +3,12 @@ and the design-choice ablations listed in DESIGN.md §6."""
 
 from __future__ import annotations
 
-from typing import Iterable
+from functools import partial
+from typing import Iterable, Optional
 
-import numpy as np
-
-from repro.experiments.runner import ExperimentResult, replicate, sweep
-from repro.metrics.tables import format_table
+from repro.experiments.exec import ExecutionBackend, get_default_backend
+from repro.experiments.runner import ExperimentResult, replicate_grid, sweep
+from repro.metrics.tables import diff_counts, format_table
 from repro.mobility import Highway, RandomWaypoint
 from repro.multitier.architecture import WORLD_BOUNDS, MultiTierWorld
 from repro.multitier.policy import (
@@ -16,8 +16,8 @@ from repro.multitier.policy import (
     AlwaysStrongestPolicy,
     TierSelectionPolicy,
 )
-from repro.net.link import Link
 from repro.radio.cells import Tier
+from repro.sim.rng import RandomStreams
 from repro.radio.geometry import Point, Rectangle
 from repro.traffic import CBRSource, FlowSink
 
@@ -32,6 +32,7 @@ def experiment_e9(
     duration: float = 120.0,
     vehicles: int = 3,
     pedestrians: int = 3,
+    backend: Optional[ExecutionBackend] = None,
 ) -> ExperimentResult:
     """S3.2 speed factor: tier-selection policy ablation (vehicles vs pedestrians)."""
     policies = {
@@ -42,17 +43,19 @@ def experiment_e9(
 
     def make_policy_scenario(policy_cls):
         def scenario(seed: int) -> dict[str, float]:
-            rng = np.random.default_rng(seed)
+            # One named stream per mobile: adding a vehicle (or a draw in
+            # one model) cannot perturb any other mobile's trajectory.
+            streams = RandomStreams(seed)
             world = MultiTierWorld()
             sim = world.sim
             vehicle_nodes = []
             for index in range(vehicles):
                 mn = world.add_mobile(f"veh{index}")
-                start_x = float(rng.uniform(-4000, -1000))
+                start_x = streams.uniform(f"veh{index}.start", -4000, -1000)
                 model = Highway(
                     Point(start_x, 0.0),
                     WORLD_BOUNDS,
-                    rng,
+                    streams.stream(f"veh{index}.mobility"),
                     speed=25.0,
                     wrap=False,
                 )
@@ -63,7 +66,10 @@ def experiment_e9(
             for index in range(pedestrians):
                 mn = world.add_mobile(f"ped{index}")
                 model = RandomWaypoint(
-                    Point(-2000, 0), walk_area, rng, speed_range=(0.8, 1.8)
+                    Point(-2000, 0),
+                    walk_area,
+                    streams.stream(f"ped{index}.mobility"),
+                    speed_range=(0.8, 1.8),
                 )
                 world.add_controller(mn, model, policy=policy_cls())
                 pedestrian_nodes.append(mn)
@@ -88,9 +94,13 @@ def experiment_e9(
 
         return scenario
 
+    replications = replicate_grid(
+        [make_policy_scenario(policy_cls) for policy_cls in policies.values()],
+        seeds,
+        backend=backend,
+    )
     rows = []
-    for label, policy_cls in policies.items():
-        replication = replicate(make_policy_scenario(policy_cls), seeds)
+    for label, replication in zip(policies, replications):
         rows.append(
             [
                 label,
@@ -144,14 +154,41 @@ _T1_PROTOCOLS = [
 ]
 
 
-def experiment_t1() -> ExperimentResult:
+def _t1_case(start: str, target: str, cross_domain: bool) -> dict[str, int]:
+    """Hop-count delta around one handoff, in an isolated world."""
+    world = MultiTierWorld(second_domain=True)
+    sim = world.sim
+    mn = world.add_mobile("mn")
+    start_bs = world.domain1[start]
+    target_bs = world.domain2[target] if cross_domain else world.domain1[target]
+    assert mn.initial_attach(start_bs)
+    sim.run(until=1.0)
+    # Freeze the periodic refresh so only handoff signalling counts.
+    if mn._location_loop is not None and mn._location_loop.is_alive:
+        mn._location_loop.interrupt("t1 accounting")
+    sim.run(until=1.5)
+    before = world.protocol_hop_totals()
+
+    def handoff():
+        ok = yield from mn.perform_handoff(target_bs)
+        assert ok
+
+    sim.process(handoff())
+    sim.run(until=4.0)
+    return diff_counts(before, world.protocol_hop_totals(), _T1_PROTOCOLS)
+
+
+def experiment_t1(
+    backend: Optional[ExecutionBackend] = None,
+) -> ExperimentResult:
     """Control message-hops consumed by one handoff of each type.
 
     Deterministic (no seeds needed): the periodic location-refresh loop
     is frozen and hop counts are differenced around the handoff over the
-    global link registry (which also covers radio links that are torn
-    down during the handoff).  RSMC authentication is a processing
-    delay, not an on-wire message, so it has no column.
+    world's link registry (which also covers radio links that are torn
+    down during the handoff).  Each case builds its own world and runs
+    as one job on the execution backend.  RSMC authentication is a
+    processing delay, not an on-wire message, so it has no column.
     """
     cases = {
         "micro->micro (F->E)": ("F", "E", False),
@@ -160,37 +197,18 @@ def experiment_t1() -> ExperimentResult:
         "inter same-upper (C->E)": ("C", "E", False),
         "inter diff-upper (F->G)": ("F", "G", True),
     }
-
-    rows = []
-    for label, (start, target, cross_domain) in cases.items():
-        Link.reset_registry()
-        world = MultiTierWorld(second_domain=True)
-        sim = world.sim
-        mn = world.add_mobile("mn")
-        start_bs = world.domain1[start]
-        target_bs = (
-            world.domain2[target] if cross_domain else world.domain1[target]
-        )
-        assert mn.initial_attach(start_bs)
-        sim.run(until=1.0)
-        # Freeze the periodic refresh so only handoff signalling counts.
-        if mn._location_loop is not None and mn._location_loop.is_alive:
-            mn._location_loop.interrupt("t1 accounting")
-        sim.run(until=1.5)
-        before = Link.protocol_hop_totals()
-
-        def handoff():
-            ok = yield from mn.perform_handoff(target_bs)
-            assert ok
-
-        sim.process(handoff())
-        sim.run(until=4.0)
-        after = Link.protocol_hop_totals()
-        delta = {
-            protocol: after.get(protocol, 0) - before.get(protocol, 0)
-            for protocol in _T1_PROTOCOLS
-        }
-        rows.append([label] + [delta[protocol] for protocol in _T1_PROTOCOLS])
+    if backend is None:
+        backend = get_default_backend()
+    deltas = backend.run(
+        [
+            partial(_t1_case, start, target, cross_domain)
+            for start, target, cross_domain in cases.values()
+        ]
+    )
+    rows = [
+        [label] + [delta[protocol] for protocol in _T1_PROTOCOLS]
+        for label, delta in zip(cases, deltas)
+    ]
 
     headers = ["handoff type"] + [p.replace("mt-", "") for p in _T1_PROTOCOLS]
     text = format_table(
@@ -220,11 +238,12 @@ def experiment_t2(
     seeds: Iterable[int] = (1,),
     mobile_counts=(8, 16, 32, 64),
     duration: float = 20.0,
+    backend: Optional[ExecutionBackend] = None,
 ) -> ExperimentResult:
     """T2: location-management scaling, hierarchy vs flat central registration."""
-    rows = []
-    for count in mobile_counts:
-        def scenario(seed: int, count=count) -> dict[str, float]:
+
+    def make_scenario(count):
+        def scenario(seed: int) -> dict[str, float]:
             world = MultiTierWorld()
             d1 = world.domain1
             leaves = [d1["B"], d1["C"], d1["E"], d1["F"]]
@@ -252,7 +271,15 @@ def experiment_t2(
                 "table_records": float(domain.total_table_records()),
             }
 
-        replication = replicate(scenario, seeds)
+        return scenario
+
+    # One batch over the whole (count, seed) grid so a parallel backend
+    # overlaps the sweep points, not just the (often single) seeds.
+    replications = replicate_grid(
+        [make_scenario(count) for count in mobile_counts], seeds, backend=backend
+    )
+    rows = []
+    for count, replication in zip(mobile_counts, replications):
         rows.append(
             [
                 count,
@@ -297,6 +324,7 @@ def ablation_buffer_size(
     seeds: Iterable[int] = DEFAULT_SEEDS,
     buffer_sizes=(1, 2, 4, 8, 32),
     home_delay: float = 0.100,
+    backend: Optional[ExecutionBackend] = None,
 ) -> ExperimentResult:
     """Inter-domain handoff (Fig 3.3): the *old* RSMC must hold roughly
     a home-network round trip's worth of packets before the HA tells it
@@ -359,6 +387,7 @@ def ablation_buffer_size(
         notes="The old RSMC buffers packets until the home agent reports "
         "the new domain; a buffer smaller than home-RTT x packet-rate "
         "overflows and loses packets, after which extra depth buys nothing.",
+        backend=backend,
     )
 
 
@@ -370,6 +399,7 @@ def ablation_record_lifetime(
     lifetime_ratios=(1.2, 2.0, 4.0, 8.0),
     update_period: float = 1.0,
     duration: float = 20.0,
+    backend: Optional[ExecutionBackend] = None,
 ) -> ExperimentResult:
     """Ablation: location record lifetime as a multiple of the refresh period."""
     def make_scenario(ratio):
@@ -420,4 +450,5 @@ def ablation_record_lifetime(
         ["loss_rate", "records_at_root", "location_msgs_per_s"],
         notes="Lifetimes barely above the refresh period risk expiry between "
         "refreshes (losses); larger ratios only delay stale-record cleanup.",
+        backend=backend,
     )

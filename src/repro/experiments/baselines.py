@@ -319,3 +319,15 @@ SCHEMES = {
     "cip-semisoft": run_cip_semisoft,
     "multitier-rsmc": run_multitier_rsmc,
 }
+
+
+def run_scheme(name: str, seed: int = 0, **kwargs) -> dict[str, float]:
+    """Run one named scheme — the execution-engine job entry point used
+    by E8's scheme-comparison grid."""
+    try:
+        runner = SCHEMES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheme {name!r}; available: {', '.join(SCHEMES)}"
+        ) from None
+    return runner(seed, **kwargs)

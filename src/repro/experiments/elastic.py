@@ -11,10 +11,11 @@ Acks travel the real uplink as packets; nothing is short-circuited.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Optional
 
 from repro.experiments import baselines
-from repro.experiments.runner import ExperimentResult, replicate
+from repro.experiments.exec import ExecutionBackend
+from repro.experiments.runner import ExperimentResult, replicate_grid
 from repro.metrics.tables import format_table
 from repro.multitier.architecture import MultiTierWorld
 from repro.net import Packet
@@ -143,6 +144,7 @@ def experiment_e8b(
     handoffs: int = 6,
     handoff_interval: float = 2.0,
     duration: float = 16.0,
+    backend: Optional[ExecutionBackend] = None,
 ) -> ExperimentResult:
     """E8b: elastic AIMD goodput under handoffs (CIP hard vs semisoft vs RSMC)."""
     schemes = {
@@ -160,8 +162,8 @@ def experiment_e8b(
     series: dict[str, list[float]] = {
         "goodput_bps": [], "lossy_windows": [], "final_window": [],
     }
-    for name, runner in schemes.items():
-        replication = replicate(runner, seeds)
+    replications = replicate_grid(list(schemes.values()), seeds, backend=backend)
+    for name, replication in zip(schemes, replications):
         row = [
             name,
             replication.mean("goodput_bps"),

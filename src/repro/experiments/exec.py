@@ -1,0 +1,220 @@
+"""Pluggable execution backends for replications and sweeps.
+
+The paper's evaluation (E1-E11, T1/T2) is embarrassingly parallel: every
+(seed, sweep-point) pair builds its own world and its own
+:class:`~repro.sim.kernel.Simulator`, so scenario jobs share no state.
+:func:`repro.experiments.runner.replicate` and
+:func:`~repro.experiments.runner.sweep` flatten their work into a list
+of zero-argument *jobs* and hand the list to an
+:class:`ExecutionBackend`; the backend returns results **in job order**,
+which makes aggregation deterministic regardless of how (or where) the
+jobs actually ran.
+
+Two backends ship:
+
+* :class:`SerialBackend` — run jobs in order in the calling process.
+  This is the default and produces bit-identical output to the historic
+  serial code path.
+* :class:`ProcessPoolBackend` — fan jobs out over forked worker
+  processes.  Scenario functions are closures, which ordinary
+  ``concurrent.futures`` pickling rejects, so the pool forks workers
+  that inherit the closures and only pickles the *results* (plain
+  metric dicts) back over a queue.  On platforms without ``fork`` the
+  backend degrades to serial execution rather than failing.
+
+Determinism guarantee
+---------------------
+A scenario derives all randomness from its seed (see
+:mod:`repro.sim.rng`), builds a private simulator, and returns plain
+floats.  Backends only change *where* jobs run, never their inputs or
+the aggregation order, so for any job list::
+
+    SerialBackend().run(jobs) == ProcessPoolBackend(n).run(jobs)
+
+for every ``n`` — verified by ``tests/test_experiments_exec.py``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import queue as queue_module
+import traceback
+from abc import ABC, abstractmethod
+from typing import Callable, Sequence
+
+#: A unit of work: builds its own world, returns a picklable result.
+Job = Callable[[], object]
+
+
+class ExecutionBackend(ABC):
+    """Strategy for running a batch of independent scenario jobs."""
+
+    @abstractmethod
+    def run(self, jobs: Sequence[Job]) -> list:
+        """Run every job and return their results in job order."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__}>"
+
+
+class SerialBackend(ExecutionBackend):
+    """Run jobs one after another in the calling process."""
+
+    def run(self, jobs: Sequence[Job]) -> list:
+        return [job() for job in jobs]
+
+
+def _pool_worker(results_queue, jobs, worker_index, worker_count) -> None:
+    """Run ``jobs[worker_index::worker_count]`` and report each result.
+
+    Runs in a forked child: ``jobs`` (closures included) arrive via the
+    inherited address space, only ``(index, ok, payload)`` tuples cross
+    back to the parent.
+    """
+    for index in range(worker_index, len(jobs), worker_count):
+        try:
+            payload = jobs[index]()
+            # The queue pickles in a background feeder thread whose
+            # errors vanish; pickling eagerly turns an unpicklable
+            # result into an ordinary job failure instead of a lost
+            # message (which would hang the parent).
+            pickle.dumps(payload)
+        except Exception:
+            # Exception only: KeyboardInterrupt/SystemExit must kill the
+            # worker (the parent reports the missing results), not be
+            # recorded as a job failure while remaining jobs keep running.
+            results_queue.put((index, False, traceback.format_exc()))
+            continue
+        results_queue.put((index, True, payload))
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Run jobs across ``jobs`` forked worker processes.
+
+    Work is split round-robin (job ``i`` runs on worker ``i % n``), a
+    deterministic static assignment.  Results are re-ordered by job
+    index before being returned, so callers observe exactly the serial
+    ordering.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count.  ``None`` uses ``os.cpu_count()``.
+    """
+
+    def __init__(self, jobs: int | None = None) -> None:
+        if jobs is not None and jobs < 1:
+            raise ValueError(f"jobs must be at least 1, got {jobs}")
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        self._can_fork = "fork" in multiprocessing.get_all_start_methods()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ProcessPoolBackend jobs={self.jobs}>"
+
+    def run(self, jobs: Sequence[Job]) -> list:
+        jobs = list(jobs)
+        worker_count = min(self.jobs, len(jobs))
+        if worker_count <= 1 or not self._can_fork:
+            # One worker (or no fork support, e.g. some macOS/Windows
+            # configurations): the serial path is already correct.
+            return [job() for job in jobs]
+
+        context = multiprocessing.get_context("fork")
+        results_queue = context.Queue()
+        workers = [
+            context.Process(
+                target=_pool_worker,
+                args=(results_queue, jobs, index, worker_count),
+                daemon=True,
+            )
+            for index in range(worker_count)
+        ]
+        for worker in workers:
+            worker.start()
+
+        results: list = [None] * len(jobs)
+        failures: list[tuple[int, str]] = []
+        received = 0
+
+        def record(index: int, ok: bool, payload) -> None:
+            nonlocal received
+            received += 1
+            if ok:
+                results[index] = payload
+            else:
+                failures.append((index, payload))
+
+        try:
+            while received < len(jobs):
+                try:
+                    record(*results_queue.get(timeout=1.0))
+                except queue_module.Empty:
+                    if any(w.is_alive() for w in workers):
+                        continue
+                    # Every worker has exited.  Drain results that raced
+                    # the liveness check, then fail loudly if any are
+                    # still missing — a clean exit (code 0) with lost
+                    # results must error, not hang.
+                    while received < len(jobs):
+                        try:
+                            record(*results_queue.get_nowait())
+                        except queue_module.Empty:
+                            break
+                    if received < len(jobs):
+                        codes = sorted({w.exitcode for w in workers})
+                        raise RuntimeError(
+                            f"worker processes exited (exit codes {codes}) "
+                            f"with {len(jobs) - received} result(s) missing"
+                        )
+        finally:
+            for worker in workers:
+                worker.join(timeout=5.0)
+                if worker.is_alive():  # pragma: no cover - defensive
+                    worker.terminate()
+
+        if failures:
+            index, formatted = failures[0]
+            raise RuntimeError(
+                f"{len(failures)} job(s) failed; first failure (job {index}):\n"
+                f"{formatted}"
+            )
+        return results
+
+
+# ----------------------------------------------------------------------
+# Process-wide default (set by the CLI's --jobs flag)
+# ----------------------------------------------------------------------
+_default_backend: ExecutionBackend = SerialBackend()
+
+
+def get_default_backend() -> ExecutionBackend:
+    """The backend used when a caller does not pass one explicitly."""
+    return _default_backend
+
+
+def set_default_backend(backend: ExecutionBackend) -> ExecutionBackend:
+    """Replace the process-wide default backend; returns the old one."""
+    global _default_backend
+    previous = _default_backend
+    _default_backend = backend
+    return previous
+
+
+def backend_for_jobs(jobs: int | None) -> ExecutionBackend:
+    """The natural backend for a ``--jobs N`` request."""
+    if jobs is None or jobs <= 1:
+        return SerialBackend()
+    return ProcessPoolBackend(jobs)
+
+
+__all__ = [
+    "ExecutionBackend",
+    "Job",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "backend_for_jobs",
+    "get_default_backend",
+    "set_default_backend",
+]

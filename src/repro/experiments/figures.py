@@ -12,10 +12,12 @@ whose ``text`` is the printable table.
 
 from __future__ import annotations
 
-from typing import Iterable
+from functools import partial
+from typing import Iterable, Optional
 
 from repro.experiments import baselines
-from repro.experiments.runner import ExperimentResult, replicate, sweep
+from repro.experiments.exec import ExecutionBackend
+from repro.experiments.runner import ExperimentResult, replicate_grid, sweep
 from repro.metrics.tables import format_table
 from repro.mobileip import ForeignAgent, HomeAgent, MobileIPNode, install_home_prefix_routes
 from repro.multitier.architecture import MultiTierWorld
@@ -32,6 +34,7 @@ DEFAULT_SEEDS = (1, 2, 3)
 def experiment_e1(
     seeds: Iterable[int] = DEFAULT_SEEDS,
     backbone_delays=(0.005, 0.010, 0.025, 0.050, 0.100),
+    backend: Optional[ExecutionBackend] = None,
 ) -> ExperimentResult:
     """Fig 2.2: Mobile IP registration latency & triangle routing vs HA distance."""
     def make_scenario(delay):
@@ -92,6 +95,7 @@ def experiment_e1(
         ["registration_latency", "downlink_delay", "uplink_delay", "triangle_stretch"],
         notes="Registration latency and CN->MN delay grow with the HA distance; "
         "triangle stretch > 1 shows the downlink detour through the HA.",
+        backend=backend,
     )
 
 
@@ -103,6 +107,7 @@ def experiment_e2(
     update_periods=(0.25, 0.5, 1.0, 2.0, 4.0),
     route_timeout: float = 1.5,
     duration: float = 30.0,
+    backend: Optional[ExecutionBackend] = None,
 ) -> ExperimentResult:
     """Fig 2.3: Cellular IP signalling vs route-update period, and the cache-miss cliff."""
     def make_scenario(period):
@@ -156,6 +161,7 @@ def experiment_e2(
         ["control_packets_per_s", "miss_rate", "cache_refreshes"],
         notes="Faster updates cost linearly more signalling; once the period "
         "exceeds the route timeout the downlink cache-miss rate jumps.",
+        backend=backend,
     )
 
 
@@ -166,6 +172,7 @@ def experiment_e3(
     seeds: Iterable[int] = DEFAULT_SEEDS,
     handoff_intervals=(0.5, 1.0, 2.0, 4.0),
     duration: float = 16.0,
+    backend: Optional[ExecutionBackend] = None,
 ) -> ExperimentResult:
     """Fig 2.4: hard vs semisoft Cellular IP handoff loss across handoff rates."""
     def make_scenario(interval):
@@ -202,6 +209,7 @@ def experiment_e3(
         ],
         notes="Hard handoff loses packets proportional to handoff rate; "
         "semisoft trades losses for duplicated packets.",
+        backend=backend,
     )
 
 
@@ -212,6 +220,7 @@ def experiment_e4(
     seeds: Iterable[int] = DEFAULT_SEEDS,
     mobile_counts=(4, 8, 16, 32),
     duration: float = 20.0,
+    backend: Optional[ExecutionBackend] = None,
 ) -> ExperimentResult:
     """Fig 3.1: hierarchical location-management load vs number of mobiles."""
     def make_scenario(count):
@@ -260,6 +269,7 @@ def experiment_e4(
         ],
         notes="Total signalling grows linearly with N but is spread over the "
         "hierarchy: per-station load stays a small multiple of the root's.",
+        backend=backend,
     )
 
 
@@ -315,12 +325,17 @@ def _interdomain_scenario(different_upper: bool, home_delay: float):
 def experiment_e5_e6(
     seeds: Iterable[int] = DEFAULT_SEEDS,
     home_delays=(0.010, 0.025, 0.050, 0.100),
+    backend: Optional[ExecutionBackend] = None,
 ) -> ExperimentResult:
     """Figs 3.2/3.3: inter-domain handoff, same vs different upper BS."""
-    rows = []
+    scenarios = []
     for home_delay in home_delays:
-        same = replicate(_interdomain_scenario(False, home_delay), seeds)
-        diff = replicate(_interdomain_scenario(True, home_delay), seeds)
+        scenarios.append(_interdomain_scenario(False, home_delay))
+        scenarios.append(_interdomain_scenario(True, home_delay))
+    replications = replicate_grid(scenarios, seeds, backend=backend)
+    rows = []
+    for index, home_delay in enumerate(home_delays):
+        same, diff = replications[2 * index], replications[2 * index + 1]
         rows.append(
             [
                 home_delay,
@@ -365,7 +380,10 @@ def experiment_e5_e6(
 # ----------------------------------------------------------------------
 # E7 — Fig 3.4: the three intra-domain handoff cases + overflow
 # ----------------------------------------------------------------------
-def experiment_e7(seeds: Iterable[int] = DEFAULT_SEEDS) -> ExperimentResult:
+def experiment_e7(
+    seeds: Iterable[int] = DEFAULT_SEEDS,
+    backend: Optional[ExecutionBackend] = None,
+) -> ExperimentResult:
     """Fig 3.4: the three intra-domain handoff cases (latency, interruption, loss)."""
     cases = {
         "micro->micro (F->E)": ("F", "E"),
@@ -415,9 +433,13 @@ def experiment_e7(seeds: Iterable[int] = DEFAULT_SEEDS) -> ExperimentResult:
 
         return scenario
 
+    replications = replicate_grid(
+        [make_case_scenario(stations) for stations in cases.values()],
+        seeds,
+        backend=backend,
+    )
     rows = []
-    for label, stations in cases.items():
-        replication = replicate(make_case_scenario(stations), seeds)
+    for label, replication in zip(cases, replications):
         rows.append(
             [
                 label,
@@ -451,6 +473,7 @@ def experiment_e7_blocking(
     seeds: Iterable[int] = DEFAULT_SEEDS,
     offered_loads=(4, 8, 12, 16, 20),
     channels: int = 8,
+    backend: Optional[ExecutionBackend] = None,
 ) -> ExperimentResult:
     """Channel overflow: handoffs into a small micro cell, with and
     without the paper's fallback to the macro tier."""
@@ -504,6 +527,7 @@ def experiment_e7_blocking(
         ["success_with_overflow", "success_without_overflow"],
         notes="Once the micro cell fills, handoffs without macro overflow are "
         "blocked; the paper's fallback keeps success at 1.0.",
+        backend=backend,
     )
 
 
@@ -515,6 +539,7 @@ def experiment_e8(
     handoffs: int = 6,
     handoff_interval: float = 2.0,
     duration: float = 16.0,
+    backend: Optional[ExecutionBackend] = None,
 ) -> ExperimentResult:
     """Fig 4.1: headline scheme comparison (Mobile IP / CIP hard / semisoft / RSMC)."""
     rows = []
@@ -522,16 +547,21 @@ def experiment_e8(
         "loss_rate": [], "mean_delay": [], "jitter": [],
         "max_gap": [], "duplicates": [],
     }
-    for name, runner in baselines.SCHEMES.items():
-        replication = replicate(
-            lambda seed, r=runner: r(
-                seed,
+    replications = replicate_grid(
+        [
+            partial(
+                baselines.run_scheme,
+                name,
                 handoffs=handoffs,
                 handoff_interval=handoff_interval,
                 duration=duration,
-            ),
-            seeds,
-        )
+            )
+            for name in baselines.SCHEMES
+        ],
+        seeds,
+        backend=backend,
+    )
+    for name, replication in zip(baselines.SCHEMES, replications):
         row = [
             name,
             replication.mean("loss_rate"),
@@ -572,6 +602,7 @@ def experiment_e10(
     seeds: Iterable[int] = DEFAULT_SEEDS,
     mobile_counts=(2, 4, 8, 16),
     duration: float = 30.0,
+    backend: Optional[ExecutionBackend] = None,
 ) -> ExperimentResult:
     """Idle-mode economy: a population of idle mobiles maintained by slow
     paging-updates versus one forced to keep route caches alive at the
@@ -641,4 +672,5 @@ def experiment_e10(
         notes="Paging cuts idle-mode control traffic by roughly the period "
         "ratio (~10x) while the first downlink packet still arrives (it "
         "follows the paging caches), paying only a small extra delay.",
+        backend=backend,
     )

@@ -15,12 +15,12 @@ the cell.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Optional
 
-import numpy as np
-
+from repro.experiments.exec import ExecutionBackend
 from repro.experiments.runner import ExperimentResult, sweep
 from repro.multitier.architecture import MultiTierWorld
+from repro.sim.rng import RandomStreams
 from repro.traffic import CBRSource, FlowSink, PoissonSource
 
 #: Backhaul bottleneck: ~2x E1 (era-appropriate microwave/leased line).
@@ -33,12 +33,16 @@ def experiment_e11(
     foreground_rate: float = 200e3,
     background_rate_pps: float = 40.0,
     duration: float = 10.0,
+    backend: Optional[ExecutionBackend] = None,
 ) -> ExperimentResult:
     """E11: foreground video QoS vs background load on the cell backhaul."""
 
     def make_scenario(flows):
         def scenario(seed: int) -> dict[str, float]:
-            rng = np.random.default_rng(seed)
+            # One named stream per background flow (sim/rng.py's
+            # variance-reduction discipline): flow k's arrivals are the
+            # same whether 2 or 10 flows are configured.
+            streams = RandomStreams(seed)
             world = MultiTierWorld(
                 domain_kwargs={"wired_bandwidth": BACKHAUL_BPS}
             )
@@ -62,7 +66,7 @@ def experiment_e11(
                     ),
                     src=world.cn.address,
                     dst=other.home_address,
-                    rng=rng,
+                    rng=streams.stream(f"background{index}.arrivals"),
                     mean_rate_pps=background_rate_pps,
                     packet_size=1000,
                     duration=duration + 2.0,
@@ -111,4 +115,5 @@ def experiment_e11(
         "the backhaul rate; once past ~1.0 the drop-tail queue sheds video "
         "packets — the QoS cliff the paper's admission control exists to "
         "stay clear of.",
+        backend=backend,
     )

@@ -3,13 +3,22 @@
 A *scenario* is any callable ``f(seed) -> dict[str, float]``.  The
 runner executes it for each seed and reduces every metric to a mean ±
 confidence-interval :class:`Estimate`.
+
+Execution is delegated to an
+:class:`~repro.experiments.exec.ExecutionBackend`: :func:`replicate`
+turns its seed list into one job per seed, :func:`sweep` flattens the
+whole (x value, seed) grid into a single batch so a parallel backend
+can use every core even when the seed list is short.  Results come back
+in job order, so the aggregated output is identical for every backend.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from functools import partial
+from typing import Callable, Iterable, Optional, Sequence
 
+from repro.experiments.exec import ExecutionBackend, get_default_backend
 from repro.metrics.stats import Estimate, mean_confidence
 
 Scenario = Callable[[int], dict[str, float]]
@@ -29,13 +38,10 @@ class Replication:
         return self.metrics[name].mean
 
 
-def replicate(
-    scenario: Scenario, seeds: Iterable[int], confidence: float = 0.95
-) -> Replication:
-    """Run ``scenario`` once per seed and aggregate each metric."""
+def _aggregate(results: Iterable[dict[str, float]], confidence: float) -> Replication:
+    """Reduce per-seed metric dicts (in seed order) to a Replication."""
     samples: dict[str, list[float]] = {}
-    for seed in seeds:
-        result = scenario(int(seed))
+    for result in results:
         for name, value in result.items():
             samples.setdefault(name, []).append(float(value))
     metrics = {
@@ -43,6 +49,50 @@ def replicate(
         for name, values in samples.items()
     }
     return Replication(metrics=metrics, samples=samples)
+
+
+def replicate(
+    scenario: Scenario,
+    seeds: Iterable[int],
+    confidence: float = 0.95,
+    backend: Optional[ExecutionBackend] = None,
+) -> Replication:
+    """Run ``scenario`` once per seed and aggregate each metric.
+
+    Each seed becomes one job on ``backend`` (default: the process-wide
+    backend from :func:`repro.experiments.exec.get_default_backend`).
+    """
+    if backend is None:
+        backend = get_default_backend()
+    jobs = [partial(scenario, int(seed)) for seed in seeds]
+    return _aggregate(backend.run(jobs), confidence)
+
+
+def replicate_grid(
+    scenarios: Sequence[Scenario],
+    seeds: Iterable[int],
+    confidence: float = 0.95,
+    backend: Optional[ExecutionBackend] = None,
+) -> list[Replication]:
+    """Replicate several scenarios over the same seeds as ONE batch.
+
+    Submitting the whole (scenario, seed) grid at once lets a parallel
+    backend overlap the scenarios themselves, not just the (often
+    short) seed list.  Results are chunked back per scenario, in order,
+    so the output is identical to calling :func:`replicate` per
+    scenario.
+    """
+    if backend is None:
+        backend = get_default_backend()
+    scenarios = list(scenarios)
+    seeds = [int(seed) for seed in seeds]
+    results = backend.run(
+        [partial(scenario, seed) for scenario in scenarios for seed in seeds]
+    )
+    return [
+        _aggregate(results[index * len(seeds): (index + 1) * len(seeds)], confidence)
+        for index in range(len(scenarios))
+    ]
 
 
 @dataclass
@@ -56,6 +106,9 @@ class ExperimentResult:
     series: dict[str, list[float]]
     text: str
     notes: str = ""
+    #: Per-x-value aggregates (confidence intervals included), parallel
+    #: to ``x_values``.  Populated by :func:`sweep`.
+    replications: list[Replication] = field(default_factory=list)
 
     def series_mean(self, name: str) -> float:
         values = self.series[name]
@@ -71,14 +124,22 @@ def sweep(
     seeds: Iterable[int],
     metric_names: Sequence[str],
     notes: str = "",
+    confidence: float = 0.95,
+    backend: Optional[ExecutionBackend] = None,
 ) -> ExperimentResult:
-    """Run a parameter sweep: one replication per x value."""
+    """Run a parameter sweep: one replication per x value.
+
+    The full (x value, seed) grid is submitted to ``backend`` as one
+    batch — row-major, seeds fastest — then aggregated per x value at
+    the caller's ``confidence`` level.
+    """
     from repro.metrics.tables import format_series
 
-    seeds = list(seeds)
+    scenarios = [make_scenario(x) for x in x_values]
+    replications = replicate_grid(scenarios, seeds, confidence, backend)
+
     series: dict[str, list[float]] = {name: [] for name in metric_names}
-    for x in x_values:
-        replication = replicate(make_scenario(x), seeds)
+    for replication in replications:
         for name in metric_names:
             estimate = replication.metrics.get(name)
             series[name].append(estimate.mean if estimate else float("nan"))
@@ -91,4 +152,5 @@ def sweep(
         series=series,
         text=text,
         notes=notes,
+        replications=replications,
     )

@@ -49,6 +49,22 @@ def format_series(
     return format_table(headers, rows, title=title)
 
 
+def diff_counts(
+    before: dict[str, int],
+    after: dict[str, int],
+    keys: Optional[Sequence[str]] = None,
+) -> dict[str, int]:
+    """Per-key difference of two counter snapshots (``after - before``).
+
+    ``keys`` fixes the output order and forces a 0 entry for counters
+    absent from both snapshots — the shape the T1 signalling table
+    needs when differencing hop totals around a handoff.
+    """
+    if keys is None:
+        keys = list(dict.fromkeys([*before, *after]))
+    return {key: after.get(key, 0) - before.get(key, 0) for key in keys}
+
+
 def _cell(value: object) -> str:
     if isinstance(value, float):
         if value != value:  # nan

@@ -2,7 +2,14 @@
 routers and topology construction."""
 
 from repro.net.addressing import AddressAllocator, IPAddress, Prefix, ip
-from repro.net.link import Link, LinkStats, connect
+from repro.net.link import (
+    Link,
+    LinkRegistry,
+    LinkStats,
+    connect,
+    link_registry,
+    protocol_hop_totals,
+)
 from repro.net.node import Node
 from repro.net.packet import IP_HEADER_BYTES, Packet, decapsulate, encapsulate
 from repro.net.router import ForwardingTable, Router
@@ -14,6 +21,7 @@ __all__ = [
     "IPAddress",
     "IP_HEADER_BYTES",
     "Link",
+    "LinkRegistry",
     "LinkStats",
     "Network",
     "Node",
@@ -25,5 +33,7 @@ __all__ = [
     "decapsulate",
     "encapsulate",
     "ip",
+    "link_registry",
+    "protocol_hop_totals",
     "star_topology",
 ]

@@ -39,14 +39,65 @@ class LinkStats:
         self.protocol_hops: dict[str, int] = {}
 
 
+class LinkRegistry:
+    """Every link created under one simulator (accounting only).
+
+    Whole-network accounting (e.g. the T1 signalling table) sums
+    per-protocol hop counts over *every* link of a world — including
+    radio links that are torn down during a handoff — without threading
+    a context object through every constructor.  The registry is scoped
+    to a :class:`~repro.sim.kernel.Simulator`, so scenarios running
+    back-to-back (or concurrently on a parallel backend) can never
+    cross-contaminate each other's totals; no explicit reset exists or
+    is needed.
+    """
+
+    def __init__(self) -> None:
+        self.links: list["Link"] = []
+
+    def register(self, link: "Link") -> None:
+        self.links.append(link)
+
+    def __len__(self) -> int:
+        return len(self.links)
+
+    def __iter__(self):
+        return iter(self.links)
+
+    def protocol_hop_totals(self) -> dict[str, int]:
+        """Sum of per-protocol delivered hops over all registered links."""
+        totals: dict[str, int] = {}
+        for link in self.links:
+            for protocol, count in link.stats.protocol_hops.items():
+                totals[protocol] = totals.get(protocol, 0) + count
+        return totals
+
+
+def link_registry(sim: "Simulator") -> LinkRegistry:
+    """The (lazily created) registry of all links under ``sim``.
+
+    Stored on the simulator instance itself so the registry (and every
+    link it holds) lives exactly as long as its world — no module-level
+    root, nothing outlives the simulation.
+    """
+    registry = getattr(sim, "_link_registry", None)
+    if registry is None:
+        registry = LinkRegistry()
+        sim._link_registry = registry
+    return registry
+
+
+def protocol_hop_totals(sim: "Simulator") -> dict[str, int]:
+    """Per-protocol delivered-hop totals over every link under ``sim``."""
+    return link_registry(sim).protocol_hop_totals()
+
+
 class Link:
     """A unidirectional link from ``head`` to ``tail``.
 
-    Every instance registers itself in :attr:`Link.registry` so
-    whole-network accounting (e.g. the T1 signalling table) can sum
-    per-protocol hop counts without threading a context object through
-    every constructor.  Call :meth:`Link.reset_registry` at scenario
-    start.
+    Every instance registers itself in its simulator's
+    :class:`LinkRegistry` (see :func:`link_registry`), giving each
+    scenario isolated whole-network accounting.
 
     Parameters
     ----------
@@ -59,22 +110,6 @@ class Link:
     loss_rate:
         Independent per-packet corruption probability (0 for wired links).
     """
-
-    #: All links created since the last reset (accounting only).
-    registry: list["Link"] = []
-
-    @classmethod
-    def reset_registry(cls) -> None:
-        cls.registry = []
-
-    @classmethod
-    def protocol_hop_totals(cls) -> dict[str, int]:
-        """Sum of per-protocol delivered hops over all registered links."""
-        totals: dict[str, int] = {}
-        for link in cls.registry:
-            for protocol, count in link.stats.protocol_hops.items():
-                totals[protocol] = totals.get(protocol, 0) + count
-        return totals
 
     def __init__(
         self,
@@ -108,7 +143,7 @@ class Link:
         self._in_flight = 0
         self._loss_draw = None  # lazily bound RNG for lossy links
         self.up = True
-        Link.registry.append(self)
+        link_registry(sim).register(self)
 
     def __repr__(self) -> str:
         return f"<Link {self.name} {self.bandwidth/1e6:g}Mbps {self.delay*1e3:g}ms>"

@@ -9,7 +9,7 @@ from typing import Optional, Union
 import networkx as nx
 
 from repro.net.addressing import AddressAllocator, IPAddress
-from repro.net.link import Link, connect
+from repro.net.link import Link, LinkRegistry, connect, link_registry
 from repro.net.node import Node
 from repro.net.router import Router
 from repro.sim.kernel import Simulator
@@ -102,6 +102,18 @@ class Network:
         node_a = self.nodes[a] if isinstance(a, str) else a
         node_b = self.nodes[b] if isinstance(b, str) else b
         return nx.dijkstra_path_length(self.graph(), node_a, node_b, weight="weight")
+
+    # ------------------------------------------------------------------
+    @property
+    def link_registry(self) -> LinkRegistry:
+        """Accounting over *every* link under this network's simulator,
+        including links (radio, inter-domain) created outside
+        :meth:`connect`."""
+        return link_registry(self.sim)
+
+    def protocol_hop_totals(self) -> dict[str, int]:
+        """Per-protocol delivered-hop totals for this world's links."""
+        return self.link_registry.protocol_hop_totals()
 
     def find_node_owning(self, address) -> Optional[Node]:
         """The node that owns ``address``, if any."""

@@ -130,8 +130,9 @@ class Simulator:
         ``until`` may be:
 
         * ``None`` — run until the event queue is exhausted;
-        * a number — run all events strictly before that time, then set
-          ``now`` to it;
+        * a number — inclusive stop time: process every event scheduled
+          at ``t <= until`` (including events at exactly ``until``),
+          then set ``now`` to it;
         * an :class:`Event` — run until that event has been processed and
           return its value (raises :class:`SimulationError` if the queue
           empties first).

@@ -1,0 +1,233 @@
+"""Tests for the execution engine: backend equivalence, per-world link
+registry isolation, and the confidence passthrough in sweep()."""
+
+import multiprocessing
+
+import pytest
+
+from repro.experiments.ablations import experiment_t1
+from repro.experiments.exec import (
+    ProcessPoolBackend,
+    SerialBackend,
+    backend_for_jobs,
+    get_default_backend,
+    set_default_backend,
+)
+from repro.experiments.runner import replicate, replicate_grid, sweep
+from repro.multitier.architecture import MultiTierWorld
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+needs_fork = pytest.mark.skipif(not HAS_FORK, reason="platform lacks fork")
+
+
+def _world_scenario(seed: int) -> dict[str, float]:
+    """A real simulation whose metrics include whole-world accounting.
+
+    The hop totals are exactly the numbers a leaking (global) link
+    registry would corrupt across back-to-back or concurrent runs.
+    """
+    world = MultiTierWorld()
+    mn = world.add_mobile("mn")
+    assert mn.initial_attach(world.domain1["B"])
+    world.sim.run(until=2.0)
+    totals = world.protocol_hop_totals()
+    return {
+        "hop_total": float(sum(totals.values())),
+        "link_count": float(len(world.network.link_registry)),
+        "seed_echo": float(seed),
+    }
+
+
+# ----------------------------------------------------------------------
+# Backend basics
+# ----------------------------------------------------------------------
+def test_serial_backend_preserves_job_order():
+    jobs = [lambda value=v: value for v in range(7)]
+    assert SerialBackend().run(jobs) == list(range(7))
+
+
+@needs_fork
+def test_process_pool_preserves_job_order():
+    jobs = [lambda value=v: value for v in range(11)]
+    assert ProcessPoolBackend(3).run(jobs) == list(range(11))
+
+
+@needs_fork
+def test_process_pool_propagates_job_failure():
+    def boom():
+        raise ValueError("scenario exploded")
+
+    with pytest.raises(RuntimeError, match="scenario exploded"):
+        ProcessPoolBackend(2).run([lambda: 1, boom, lambda: 3])
+
+
+@needs_fork
+def test_process_pool_unpicklable_result_fails_instead_of_hanging():
+    def returns_closure():
+        return lambda: 1  # closures can't cross the result queue
+
+    with pytest.raises(RuntimeError, match="pickle|failed"):
+        ProcessPoolBackend(2).run([lambda: 1, returns_closure, lambda: 3])
+
+
+def test_process_pool_rejects_bad_job_count():
+    with pytest.raises(ValueError):
+        ProcessPoolBackend(0)
+
+
+def test_backend_for_jobs_selection():
+    assert isinstance(backend_for_jobs(None), SerialBackend)
+    assert isinstance(backend_for_jobs(1), SerialBackend)
+    pool = backend_for_jobs(4)
+    assert isinstance(pool, ProcessPoolBackend)
+    assert pool.jobs == 4
+
+
+def test_default_backend_set_and_restore():
+    original = get_default_backend()
+    replacement = SerialBackend()
+    try:
+        assert set_default_backend(replacement) is original
+        assert get_default_backend() is replacement
+    finally:
+        set_default_backend(original)
+
+
+# ----------------------------------------------------------------------
+# Equivalence: identical metrics on every backend
+# ----------------------------------------------------------------------
+@needs_fork
+@pytest.mark.parametrize("jobs", [2, 3])
+def test_replicate_identical_across_backends(jobs):
+    seeds = [1, 2, 3]
+    serial = replicate(_world_scenario, seeds, backend=SerialBackend())
+    pooled = replicate(_world_scenario, seeds, backend=ProcessPoolBackend(jobs))
+    assert serial.samples == pooled.samples
+    assert set(serial.metrics) == set(pooled.metrics)
+    for name in serial.metrics:
+        assert serial.metrics[name] == pooled.metrics[name]
+
+
+@needs_fork
+def test_sweep_identical_across_backends():
+    def make_scenario(x):
+        def scenario(seed: int) -> dict[str, float]:
+            result = _world_scenario(seed)
+            result["x_echo"] = float(x)
+            return result
+
+        return scenario
+
+    kwargs = dict(
+        experiment_id="TEST",
+        title="engine equivalence sweep",
+        x_label="x",
+        x_values=[1, 2],
+        make_scenario=make_scenario,
+        seeds=[1, 2],
+        metric_names=["hop_total", "link_count", "x_echo"],
+    )
+    serial = sweep(backend=SerialBackend(), **kwargs)
+    pooled = sweep(backend=ProcessPoolBackend(2), **kwargs)
+    assert serial.series == pooled.series
+    assert serial.text == pooled.text
+
+
+@needs_fork
+def test_t1_identical_across_backends():
+    serial = experiment_t1(backend=SerialBackend())
+    pooled = experiment_t1(backend=ProcessPoolBackend(3))
+    assert serial.series == pooled.series
+    assert serial.text == pooled.text
+
+
+# ----------------------------------------------------------------------
+# Link-registry isolation (no reset, no cross-contamination)
+# ----------------------------------------------------------------------
+def test_back_to_back_worlds_do_not_cross_contaminate():
+    first = _world_scenario(1)
+    second = _world_scenario(1)  # same workload, no reset in between
+    # A class-level registry would double the second run's totals.
+    assert second == first
+    assert first["hop_total"] > 0
+
+
+def test_link_registry_is_freed_with_its_simulator():
+    """No module-level root may pin finished worlds in memory."""
+    import gc
+    import weakref
+
+    world = MultiTierWorld()
+    world.sim.run(until=0.5)
+    assert len(world.network.link_registry) > 0
+    sim_ref = weakref.ref(world.sim)
+    del world
+    gc.collect()
+    assert sim_ref() is None
+
+
+def test_world_totals_are_frozen_against_later_worlds():
+    world_a = MultiTierWorld()
+    mn = world_a.add_mobile("mn")
+    assert mn.initial_attach(world_a.domain1["B"])
+    world_a.sim.run(until=2.0)
+    totals_a = world_a.protocol_hop_totals()
+
+    world_b = MultiTierWorld()
+    other = world_b.add_mobile("mn")
+    assert other.initial_attach(world_b.domain1["B"])
+    world_b.sim.run(until=2.0)
+
+    assert world_a.protocol_hop_totals() == totals_a
+    assert world_b.protocol_hop_totals() == totals_a  # same deterministic run
+
+
+# ----------------------------------------------------------------------
+# replicate_grid and the E8 job entry point
+# ----------------------------------------------------------------------
+def test_replicate_grid_matches_per_scenario_replicate():
+    def make_scenario(factor):
+        def scenario(seed: int) -> dict[str, float]:
+            return {"value": float(seed * factor)}
+
+        return scenario
+
+    scenarios = [make_scenario(f) for f in (1, 10)]
+    grid = replicate_grid(scenarios, seeds=[1, 2, 3])
+    singles = [replicate(scenario, seeds=[1, 2, 3]) for scenario in scenarios]
+    assert [r.samples for r in grid] == [r.samples for r in singles]
+    assert [r.metrics for r in grid] == [r.metrics for r in singles]
+
+
+def test_run_scheme_rejects_unknown_name():
+    from repro.experiments import run_scheme
+
+    with pytest.raises(ValueError, match="unknown scheme"):
+        run_scheme("no-such-scheme", seed=1)
+
+
+# ----------------------------------------------------------------------
+# sweep() confidence passthrough
+# ----------------------------------------------------------------------
+def test_sweep_passes_confidence_through():
+    def make_scenario(x):
+        def scenario(seed: int) -> dict[str, float]:
+            return {"value": float(seed * x)}
+
+        return scenario
+
+    kwargs = dict(
+        experiment_id="TEST",
+        title="confidence passthrough",
+        x_label="x",
+        x_values=[1, 2],
+        make_scenario=make_scenario,
+        seeds=range(8),
+        metric_names=["value"],
+    )
+    narrow = sweep(confidence=0.50, **kwargs)
+    wide = sweep(confidence=0.99, **kwargs)
+    assert len(narrow.replications) == 2
+    for low, high in zip(narrow.replications, wide.replications):
+        assert low["value"].mean == high["value"].mean
+        assert low["value"].half_width < high["value"].half_width

@@ -40,6 +40,19 @@ def test_run_until_time_stops_clock_exactly():
     assert sim.now == 30.0
 
 
+def test_run_until_is_inclusive_of_events_at_stop_time():
+    """run(until=t) processes events scheduled at exactly t."""
+    sim = Simulator()
+    fired = []
+    sim.schedule(3.0, fired.append, "at-stop")
+    sim.schedule(3.5, fired.append, "after-stop")
+    sim.run(until=3.0)
+    assert fired == ["at-stop"]
+    assert sim.now == 3.0
+    sim.run()
+    assert fired == ["at-stop", "after-stop"]
+
+
 def test_run_until_past_time_rejected():
     sim = Simulator(start=10.0)
     with pytest.raises(ValueError):
