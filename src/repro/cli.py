@@ -1,4 +1,4 @@
-"""Command-line experiment runner.
+"""Command-line experiment and scenario runner.
 
 Usage::
 
@@ -8,9 +8,15 @@ Usage::
     python -m repro run all --jobs 8    # same, on 8 worker processes
     python -m repro run E3 E8 -o out/   # also write rendered tables to files
 
-``--jobs N`` fans each experiment's (seed, sweep-point) scenario jobs
-out over N forked worker processes; results are identical to a serial
-run for the same seeds (see :mod:`repro.experiments.exec`).
+    python -m repro scenario list                 # the scenario catalog
+    python -m repro scenario describe mega        # one spec in full
+    python -m repro scenario run city-rush-hour   # run with default seeds
+    python -m repro scenario run all --jobs 4     # whole catalog, 4 workers
+    python -m repro scenario run mega --seeds 1 2 # override the seed list
+
+``--jobs N`` fans the per-seed scenario jobs out over N forked worker
+processes; results are identical to a serial run for the same seeds
+(see :mod:`repro.experiments.exec`).
 """
 
 from __future__ import annotations
@@ -54,11 +60,122 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes for scenario jobs (default 1 = serial; "
         "results are identical for any N)",
     )
+
+    scenario = commands.add_parser(
+        "scenario", help="list, describe and run catalog scenarios"
+    )
+    verbs = scenario.add_subparsers(dest="scenario_command", required=True)
+
+    verbs.add_parser("list", help="list the scenario catalog")
+
+    describe = verbs.add_parser("describe", help="show one scenario spec")
+    describe.add_argument("name", help="scenario name (see 'scenario list')")
+
+    scenario_run = verbs.add_parser(
+        "run", help="replicate scenarios over seeds and print metric tables"
+    )
+    scenario_run.add_argument(
+        "names",
+        nargs="+",
+        help="scenario names (see 'scenario list'), or 'all'",
+    )
+    scenario_run.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for per-seed jobs (default 1 = serial; "
+        "results are identical for any N)",
+    )
+    scenario_run.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="SEED",
+        help="override the spec's default seed list",
+    )
+    scenario_run.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the shrunken CI smoke variant of each scenario",
+    )
+    scenario_run.add_argument(
+        "-o",
+        "--output-dir",
+        type=pathlib.Path,
+        default=None,
+        help="also write each rendered table to <dir>/scenario_<name>.txt",
+    )
     return parser
+
+
+def _scenario_main(args: argparse.Namespace) -> int:
+    from repro import scenarios
+
+    if args.scenario_command == "list":
+        for spec in scenarios.iter_scenarios():
+            print(
+                f"{spec.name:22s} pop={spec.population:<4d} "
+                f"dur={spec.duration:<5g} domains={spec.domains}  "
+                f"{spec.description}"
+            )
+        return 0
+
+    if args.scenario_command == "describe":
+        try:
+            print(scenarios.describe_scenario(args.name))
+        except KeyError as error:
+            print(error.args[0], file=sys.stderr)
+            return 2
+        return 0
+
+    # scenario run ------------------------------------------------------
+    wanted = args.names
+    if len(wanted) == 1 and wanted[0].lower() == "all":
+        wanted = scenarios.scenario_names()
+    unknown = [name for name in wanted if name not in scenarios.scenario_names()]
+    if unknown:
+        print(f"unknown scenario(s): {', '.join(unknown)}", file=sys.stderr)
+        print(
+            f"available: {', '.join(scenarios.scenario_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.jobs < 1:
+        print(f"--jobs must be at least 1, got {args.jobs}", file=sys.stderr)
+        return 2
+
+    specs = [scenarios.get_scenario(name) for name in wanted]
+    if args.smoke:
+        specs = [spec.smoke() for spec in specs]
+    # One batch for the whole (scenario, seed) grid: the pool's
+    # work-stealing queue balances across scenarios, so a single-seed
+    # heavyweight (mega) still overlaps its neighbours under --jobs N.
+    started = time.perf_counter()
+    batch = scenarios.replicate_scenarios(
+        specs, seeds=args.seeds, backend=backend_for_jobs(args.jobs)
+    )
+    elapsed = time.perf_counter() - started
+    for spec, seeds, replication in batch:
+        text = scenarios.format_scenario_result(spec, replication, seeds)
+        print(text)
+        print()
+        if args.output_dir is not None:
+            args.output_dir.mkdir(parents=True, exist_ok=True)
+            safe = spec.name.replace("/", "_").lower()
+            (args.output_dir / f"scenario_{safe}.txt").write_text(text + "\n")
+    label = "scenario" if len(batch) == 1 else "scenarios"
+    print(f"[{len(batch)} {label} completed in {elapsed:.1f}s]")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+
+    if args.command == "scenario":
+        return _scenario_main(args)
 
     if args.command == "list":
         for experiment_id, fn in ALL_EXPERIMENTS.items():

@@ -43,6 +43,7 @@ from repro.experiments.baselines import (
 from repro.experiments.exec import (
     ExecutionBackend,
     ProcessPoolBackend,
+    RemoteTraceback,
     SerialBackend,
     backend_for_jobs,
     get_default_backend,
@@ -64,6 +65,7 @@ from repro.experiments.figures import (
 from repro.experiments.runner import (
     ExperimentResult,
     Replication,
+    aggregate,
     replicate,
     replicate_grid,
     sweep,
@@ -93,11 +95,13 @@ __all__ = [
     "ExecutionBackend",
     "ExperimentResult",
     "ProcessPoolBackend",
+    "RemoteTraceback",
     "Replication",
     "SCHEMES",
     "SerialBackend",
     "ablation_buffer_size",
     "ablation_record_lifetime",
+    "aggregate",
     "backend_for_jobs",
     "build_cip_world",
     "experiment_e1",

@@ -19,27 +19,7 @@ from repro.experiments.runner import ExperimentResult, replicate_grid
 from repro.metrics.tables import format_table
 from repro.multitier.architecture import MultiTierWorld
 from repro.net import Packet
-from repro.traffic import ElasticSource, FlowSink
-
-ACK_BYTES = 40
-
-
-def _wire_acks(sim, source: ElasticSource, reply_fn):
-    """Return an on-data hook that acks each packet over ``reply_fn``."""
-
-    def hook(packet: Packet) -> None:
-        ack = Packet(
-            src=packet.dst,
-            dst=packet.src,
-            size=ACK_BYTES,
-            protocol="ack",
-            payload=packet.seq,
-            seq=packet.seq,
-            created_at=sim.now,
-        )
-        reply_fn(ack)
-
-    return hook
+from repro.traffic import ElasticSource, FlowSink, make_ack_hook
 
 
 def _ack_receiver(source: ElasticSource):
@@ -70,7 +50,7 @@ def run_cip_elastic(
     )
     sink.flow_id = source.flow_id
     mn.on_data.append(sink.bind(sim))
-    mn.on_data.append(_wire_acks(sim, source, mn.originate))
+    mn.on_data.append(make_ack_hook(sim, mn.originate))
     cn.on_protocol("ack", _ack_receiver(source))
     source.start()
 
@@ -120,7 +100,7 @@ def run_multitier_elastic(
     )
     sink.flow_id = source.flow_id
     mn.on_data.append(sink.bind(sim))
-    mn.on_data.append(_wire_acks(sim, source, mn.originate))
+    mn.on_data.append(make_ack_hook(sim, mn.originate))
     world.cn.on_protocol("ack", _ack_receiver(source))
     source.start()
 

@@ -19,8 +19,13 @@ Two backends ship:
   processes.  Scenario functions are closures, which ordinary
   ``concurrent.futures`` pickling rejects, so the pool forks workers
   that inherit the closures and only pickles the *results* (plain
-  metric dicts) back over a queue.  On platforms without ``fork`` the
-  backend degrades to serial execution rather than failing.
+  metric dicts) back over a queue.  Jobs are claimed dynamically from a
+  shared counter (work stealing), so heterogeneous batches — a ``mega``
+  scenario next to a ``sparse-rural`` one — stay load-balanced.  The
+  first job failure aborts the whole batch and the *original* exception
+  type is re-raised in the parent with the worker traceback attached as
+  its ``__cause__``.  On platforms without ``fork`` the backend warns
+  on stderr and degrades to serial execution rather than failing.
 
 Determinism guarantee
 ---------------------
@@ -40,12 +45,26 @@ import multiprocessing
 import os
 import pickle
 import queue as queue_module
+import sys
 import traceback
 from abc import ABC, abstractmethod
 from typing import Callable, Sequence
 
 #: A unit of work: builds its own world, returns a picklable result.
 Job = Callable[[], object]
+
+
+class RemoteTraceback(Exception):
+    """Carries a worker-process traceback as the ``__cause__`` of the
+    re-raised job exception, so the original failure site stays visible
+    in the parent's traceback output."""
+
+    def __init__(self, formatted: str) -> None:
+        super().__init__(formatted)
+        self.formatted = formatted
+
+    def __str__(self) -> str:
+        return f"\n\n--- worker traceback ---\n{self.formatted}"
 
 
 class ExecutionBackend(ABC):
@@ -66,14 +85,28 @@ class SerialBackend(ExecutionBackend):
         return [job() for job in jobs]
 
 
-def _pool_worker(results_queue, jobs, worker_index, worker_count) -> None:
-    """Run ``jobs[worker_index::worker_count]`` and report each result.
+def _claim_next_index(next_index) -> int:
+    """Atomically claim the next unstarted job index (work stealing)."""
+    with next_index.get_lock():
+        index = next_index.value
+        next_index.value = index + 1
+    return index
+
+
+def _pool_worker(results_queue, jobs, next_index) -> None:
+    """Claim jobs off the shared counter and report each result.
 
     Runs in a forked child: ``jobs`` (closures included) arrive via the
     inherited address space, only ``(index, ok, payload)`` tuples cross
-    back to the parent.
+    back to the parent.  Claiming from ``next_index`` instead of a
+    static round-robin split keeps heterogeneous batches balanced: a
+    worker stuck on one long job stops claiming, and the others drain
+    the rest.
     """
-    for index in range(worker_index, len(jobs), worker_count):
+    while True:
+        index = _claim_next_index(next_index)
+        if index >= len(jobs):
+            return
         try:
             payload = jobs[index]()
             # The queue pickles in a background feeder thread whose
@@ -81,22 +114,39 @@ def _pool_worker(results_queue, jobs, worker_index, worker_count) -> None:
             # result into an ordinary job failure instead of a lost
             # message (which would hang the parent).
             pickle.dumps(payload)
-        except Exception:
+        except Exception as exc:
             # Exception only: KeyboardInterrupt/SystemExit must kill the
             # worker (the parent reports the missing results), not be
-            # recorded as a job failure while remaining jobs keep running.
-            results_queue.put((index, False, traceback.format_exc()))
-            continue
+            # recorded as a job failure.
+            try:
+                # Full round trip: an exception can pickle fine but fail
+                # to UNpickle (e.g. a multi-arg __init__), which would
+                # crash the parent's queue reader instead of reporting.
+                pickle.loads(pickle.dumps(exc))
+                wire_exc = exc
+            except Exception:
+                wire_exc = None  # parent falls back to the traceback text
+            results_queue.put(
+                (index, False, (wire_exc, traceback.format_exc()))
+            )
+            # Fail fast: the batch is doomed, claim nothing further.
+            return
         results_queue.put((index, True, payload))
 
 
 class ProcessPoolBackend(ExecutionBackend):
     """Run jobs across ``jobs`` forked worker processes.
 
-    Work is split round-robin (job ``i`` runs on worker ``i % n``), a
-    deterministic static assignment.  Results are re-ordered by job
-    index before being returned, so callers observe exactly the serial
-    ordering.
+    Workers claim job indices dynamically from a shared counter (work
+    stealing), so a batch mixing long and short jobs stays balanced.
+    Results are re-ordered by job index before being returned, so
+    callers observe exactly the serial ordering regardless of which
+    worker ran what.
+
+    Failure semantics: the first failing job aborts the batch — the
+    remaining workers are terminated rather than allowed to finish —
+    and the job's original exception is re-raised in the parent with
+    the worker traceback attached as its ``__cause__``.
 
     Parameters
     ----------
@@ -109,45 +159,65 @@ class ProcessPoolBackend(ExecutionBackend):
             raise ValueError(f"jobs must be at least 1, got {jobs}")
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
         self._can_fork = "fork" in multiprocessing.get_all_start_methods()
+        self._warned_degrade = False
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<ProcessPoolBackend jobs={self.jobs}>"
 
+    def _warn_serial_degrade(self) -> None:
+        """Tell the user once that their --jobs request is not honoured."""
+        if self._warned_degrade:
+            return
+        self._warned_degrade = True
+        print(
+            f"repro: warning: --jobs {self.jobs} requested but this "
+            "platform lacks the 'fork' start method; running jobs "
+            "serially (results are identical, just slower)",
+            file=sys.stderr,
+        )
+
     def run(self, jobs: Sequence[Job]) -> list:
         jobs = list(jobs)
         worker_count = min(self.jobs, len(jobs))
-        if worker_count <= 1 or not self._can_fork:
-            # One worker (or no fork support, e.g. some macOS/Windows
-            # configurations): the serial path is already correct.
+        if not self._can_fork:
+            if worker_count > 1:
+                # A real degrade: parallelism was requested and possible
+                # for this batch, but the platform cannot deliver it.
+                self._warn_serial_degrade()
+            return [job() for job in jobs]
+        if worker_count <= 1:
+            # One worker: the serial path is already correct.
             return [job() for job in jobs]
 
         context = multiprocessing.get_context("fork")
         results_queue = context.Queue()
+        next_index = context.Value("l", 0)
         workers = [
             context.Process(
                 target=_pool_worker,
-                args=(results_queue, jobs, index, worker_count),
+                args=(results_queue, jobs, next_index),
                 daemon=True,
             )
-            for index in range(worker_count)
+            for _ in range(worker_count)
         ]
         for worker in workers:
             worker.start()
 
         results: list = [None] * len(jobs)
-        failures: list[tuple[int, str]] = []
+        failure: tuple[int, Exception | None, str] | None = None
         received = 0
 
         def record(index: int, ok: bool, payload) -> None:
-            nonlocal received
+            """Store one worker message; sets ``failure`` on a bad one."""
+            nonlocal received, failure
             received += 1
             if ok:
                 results[index] = payload
             else:
-                failures.append((index, payload))
+                failure = (index, *payload)
 
         try:
-            while received < len(jobs):
+            while received < len(jobs) and failure is None:
                 try:
                     record(*results_queue.get(timeout=1.0))
                 except queue_module.Empty:
@@ -157,27 +227,38 @@ class ProcessPoolBackend(ExecutionBackend):
                     # the liveness check, then fail loudly if any are
                     # still missing — a clean exit (code 0) with lost
                     # results must error, not hang.
-                    while received < len(jobs):
+                    while received < len(jobs) and failure is None:
                         try:
                             record(*results_queue.get_nowait())
                         except queue_module.Empty:
                             break
+                    if failure is not None:
+                        break
                     if received < len(jobs):
                         codes = sorted({w.exitcode for w in workers})
                         raise RuntimeError(
                             f"worker processes exited (exit codes {codes}) "
                             f"with {len(jobs) - received} result(s) missing"
                         )
+                # Fail fast: the loop condition aborts the batch on the
+                # first failure instead of letting the rest complete.
         finally:
+            if failure is not None:
+                for worker in workers:
+                    worker.terminate()
             for worker in workers:
                 worker.join(timeout=5.0)
                 if worker.is_alive():  # pragma: no cover - defensive
                     worker.terminate()
 
-        if failures:
-            index, formatted = failures[0]
+        if failure is not None:
+            index, exc, formatted = failure
+            if exc is not None:
+                # Re-raise the original exception type; the remote
+                # traceback rides along as the cause.
+                raise exc from RemoteTraceback(formatted)
             raise RuntimeError(
-                f"{len(failures)} job(s) failed; first failure (job {index}):\n"
+                f"job {index} failed with an unpicklable exception:\n"
                 f"{formatted}"
             )
         return results
@@ -213,6 +294,7 @@ __all__ = [
     "ExecutionBackend",
     "Job",
     "ProcessPoolBackend",
+    "RemoteTraceback",
     "SerialBackend",
     "backend_for_jobs",
     "get_default_backend",

@@ -38,6 +38,19 @@ class Replication:
         return self.metrics[name].mean
 
 
+def aggregate(
+    results: Iterable[dict[str, float]], confidence: float = 0.95
+) -> Replication:
+    """Reduce per-seed metric dicts (in seed order) to a Replication.
+
+    Public entry point for callers that batch heterogeneous job lists
+    through a backend directly (e.g. the scenario catalog running
+    several scenarios' seed grids as one batch) and aggregate the
+    chunks themselves.
+    """
+    return _aggregate(results, confidence)
+
+
 def _aggregate(results: Iterable[dict[str, float]], confidence: float) -> Replication:
     """Reduce per-seed metric dicts (in seed order) to a Replication."""
     samples: dict[str, list[float]] = {}

@@ -1,0 +1,58 @@
+"""Declarative scenario catalog: named, reproducible workloads.
+
+A scenario composes topology (domains, pico cells), a mobility mix, a
+traffic mix and a protocol stack into one named workload:
+
+* :class:`~repro.scenarios.spec.ScenarioSpec` — the declarative spec;
+* :mod:`repro.scenarios.builder` — spec + seed -> ready-to-run world;
+* :mod:`repro.scenarios.catalog` — the registry and shipped scenarios,
+  plus :func:`~repro.scenarios.catalog.replicate_scenario`, which
+  dispatches runs through the execution backends with the same
+  ordered-deterministic aggregation guarantee as the experiments.
+
+CLI: ``repro scenario list | describe <name> | run <name> --jobs N``.
+"""
+
+from repro.scenarios.builder import (
+    BuiltScenario,
+    build_scenario,
+    roam_rectangle,
+    run_scenario_spec,
+)
+from repro.scenarios.catalog import (
+    describe_scenario,
+    format_scenario_result,
+    get_scenario,
+    iter_scenarios,
+    register,
+    replicate_scenario,
+    replicate_scenarios,
+    run_scenario,
+    scenario_names,
+)
+from repro.scenarios.spec import (
+    MOBILITY_MODELS,
+    TRAFFIC_KINDS,
+    ScenarioSpec,
+    apportion,
+)
+
+__all__ = [
+    "MOBILITY_MODELS",
+    "TRAFFIC_KINDS",
+    "BuiltScenario",
+    "ScenarioSpec",
+    "apportion",
+    "build_scenario",
+    "describe_scenario",
+    "format_scenario_result",
+    "get_scenario",
+    "iter_scenarios",
+    "register",
+    "replicate_scenario",
+    "replicate_scenarios",
+    "roam_rectangle",
+    "run_scenario",
+    "run_scenario_spec",
+    "scenario_names",
+]

@@ -1,0 +1,401 @@
+"""Instantiate a :class:`~repro.scenarios.spec.ScenarioSpec` into a
+ready-to-run world and execute it.
+
+The builder is the bridge between the declarative catalog and the
+simulation substrate: it assembles a
+:class:`~repro.multitier.architecture.MultiTierWorld` (one or two
+domains, optional pico cells), spawns the mobile population with
+mobility models and per-mobile controllers, and plans the traffic mix.
+All randomness — start positions, model dynamics, population
+assignments — flows through named :class:`~repro.sim.rng.RandomStreams`
+keyed by mobile index, so a ``(spec, seed)`` pair is fully reproducible
+and adding one mobile never perturbs another's trajectory.
+
+:func:`run_scenario_spec` is the execution-engine job entry point: it
+builds, runs warmup → traffic → drain, and returns a plain-float metric
+dict, which is exactly what the PR 1 backends require for their
+ordered-deterministic aggregation guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.mobility import (
+    GaussMarkov,
+    Highway,
+    ManhattanGrid,
+    MobilityModel,
+    RandomDirection,
+    RandomWaypoint,
+    Stationary,
+)
+from repro.multitier.architecture import MobilityController, MultiTierWorld
+from repro.multitier.mobile import MultiTierMobileNode
+from repro.net.packet import Packet
+from repro.radio.geometry import Point, Rectangle
+from repro.scenarios.spec import ScenarioSpec
+from repro.sim.rng import RandomStreams
+from repro.traffic import (
+    CBRSource,
+    ElasticSource,
+    FlowSink,
+    OnOffSource,
+    PoissonSource,
+    TrafficSource,
+    VBRVideoSource,
+    make_ack_hook,
+)
+
+#: Default roaming areas: stay just inside continuous radio coverage.
+_ROAM_ONE_DOMAIN = (-4200.0, -1200.0, 4200.0, 1200.0)
+_ROAM_TWO_DOMAINS = (-4200.0, -1200.0, 7000.0, 1200.0)
+
+#: Nominal downlink demand (bit/s) per traffic kind — the bandwidth
+#: factor of the paper's three-factor handoff decision (§3.2).
+_BANDWIDTH_DEMAND = {
+    "idle": 0.0,
+    "cbr-voice": 64e3,
+    "onoff-voice": 64e3,
+    "vbr-video": 128e3,
+    "poisson-data": 80e3,
+    "elastic-data": 256e3,
+}
+
+def roam_rectangle(spec: ScenarioSpec) -> Rectangle:
+    """The area the spec's population roams."""
+    if spec.roam is not None:
+        return Rectangle(*spec.roam)
+    bounds = _ROAM_TWO_DOMAINS if spec.domains == 2 else _ROAM_ONE_DOMAIN
+    return Rectangle(*bounds)
+
+
+def _make_mobility(
+    kind: str, index: int, streams: RandomStreams, roam: Rectangle
+) -> MobilityModel:
+    """One mobility model instance, randomness scoped to this mobile."""
+    rng = streams.stream(f"mn{index}.mobility")
+    start = Point(
+        streams.uniform(f"mn{index}.start.x", roam.x_min, roam.x_max),
+        streams.uniform(f"mn{index}.start.y", roam.y_min, roam.y_max),
+    )
+    if kind == "stationary":
+        return Stationary(start, roam)
+    if kind == "waypoint":
+        return RandomWaypoint(
+            start, roam, rng, speed_range=(0.8, 2.0), pause_range=(0.0, 8.0)
+        )
+    if kind == "manhattan":
+        block = min(200.0, roam.width / 4, roam.height / 2)
+        return ManhattanGrid(start, roam, rng, block_size=block, speed=8.0)
+    if kind == "highway":
+        # Vehicles drive a lane across the middle of the roam area.
+        lane = Point(start.x, roam.center.y)
+        speed = streams.uniform(f"mn{index}.speed", 22.0, 33.0)
+        return Highway(lane, roam, rng, speed=speed, wrap=True, speed_jitter=1.0)
+    if kind == "gauss-markov":
+        return GaussMarkov(start, roam, rng, mean_speed=5.0)
+    if kind == "random-direction":
+        return RandomDirection(start, roam, rng, speed=10.0)
+    raise ValueError(f"unknown mobility model {kind!r}")
+
+
+class _ElasticAckDispatcher:
+    """One CN-side 'ack' handler fanning out to every elastic source.
+
+    :meth:`repro.net.node.Node.on_protocol` keeps a single handler per
+    protocol, so scenarios with several elastic flows route all acks
+    through this dispatcher, matched by flow id.
+    """
+
+    def __init__(self) -> None:
+        self.sources: dict[str, ElasticSource] = {}
+
+    def register(self, source: ElasticSource) -> None:
+        self.sources[source.flow_id] = source
+
+    def __call__(self, packet: Packet, link) -> None:
+        source = self.sources.get(packet.flow_id)
+        if source is not None:
+            source.acknowledge(packet.payload)
+
+
+@dataclass
+class _FlowPlan:
+    """A traffic flow scheduled to start after warmup."""
+
+    flow_id: str
+    kind: str
+    start: Callable[[float], TrafficSource]  # duration -> started source
+    sink: FlowSink
+
+
+@dataclass
+class BuiltScenario:
+    """A fully assembled world plus its planned traffic, pre-run."""
+
+    spec: ScenarioSpec
+    seed: int
+    world: MultiTierWorld
+    mobiles: list[MultiTierMobileNode]
+    controllers: list[MobilityController]
+    mobility_assignment: list[str]
+    traffic_assignment: list[str]
+    hotspot_indices: list[int]
+    flow_plans: list[_FlowPlan]
+    sources: list[TrafficSource] = field(default_factory=list)
+    sinks: list[FlowSink] = field(default_factory=list)
+
+    def execute(self) -> dict[str, float]:
+        """Run warmup → traffic window → drain; return scenario metrics."""
+        spec = self.spec
+        sim = self.world.sim
+        sim.run(until=spec.warmup)
+        for plan in self.flow_plans:
+            self.sources.append(plan.start(spec.duration))
+            self.sinks.append(plan.sink)
+        sim.run(until=spec.warmup + spec.duration + spec.drain)
+        return self._collect_metrics()
+
+    # ------------------------------------------------------------------
+    def _collect_metrics(self) -> dict[str, float]:
+        spec = self.spec
+        sent = sum(source.packets_sent for source in self.sources)
+        received = sum(sink.received for sink in self.sinks)
+        delays = [s.mean_delay() for s in self.sinks if s.received > 0]
+        jitters = [s.jitter() for s in self.sinks if s.received > 1]
+        gaps = [s.max_gap() for s in self.sinks if s.received > 1]
+        handoffs = sum(m.handoffs_completed for m in self.mobiles)
+        latencies = [
+            latency for m in self.mobiles for latency in m.handoff_latencies
+        ]
+        blocked = sum(c.blocked_attach_attempts for c in self.controllers)
+        attached = sum(1 for m in self.mobiles if m.serving_bs is not None)
+        cn = self.world.cn
+        routed = cn.sent_via_binding + cn.sent_via_home
+        elastic = [
+            (source, sink)
+            for source, sink, plan in zip(
+                self.sources, self.sinks, self.flow_plans
+            )
+            if plan.kind == "elastic-data"
+        ]
+        goodput = [
+            sink.bytes_received * 8.0 / spec.duration for _, sink in elastic
+        ]
+        # Metrics are plain floats and never NaN, so serial-vs-parallel
+        # byte-identity is checkable with ordinary equality.
+        return {
+            "population": float(spec.population),
+            "flows": float(len(self.flow_plans)),
+            "sent": float(sent),
+            "received": float(received),
+            "loss_rate": (1.0 - received / sent) if sent else 0.0,
+            "mean_delay": (sum(delays) / len(delays)) if delays else 0.0,
+            "jitter": (sum(jitters) / len(jitters)) if jitters else 0.0,
+            "max_gap": max(gaps) if gaps else 0.0,
+            "handoffs": float(handoffs),
+            "handoff_latency": (
+                (sum(latencies) / len(latencies)) if latencies else 0.0
+            ),
+            "blocked_attaches": float(blocked),
+            "attached": float(attached),
+            "via_binding_fraction": (
+                cn.sent_via_binding / routed if routed else 0.0
+            ),
+            "elastic_goodput_bps": (
+                (sum(goodput) / len(goodput)) if goodput else 0.0
+            ),
+            "hop_total": float(sum(self.world.protocol_hop_totals().values())),
+        }
+
+
+# ----------------------------------------------------------------------
+def _assignments(spec: ScenarioSpec, streams: RandomStreams):
+    """Per-mobile (mobility model, traffic kind, hotspot) assignment.
+
+    Counts come from the exact largest-remainder apportionment; the
+    pairing between the two lists is decorrelated by a seeded shuffle so
+    mixes cross (e.g. some vehicles stream video, some walkers are
+    idle) instead of aligning block-by-block.
+    """
+    mobility = [
+        name
+        for name, count in spec.mobility_counts().items()
+        for _ in range(count)
+    ]
+    traffic = [
+        kind
+        for kind, count in spec.traffic_counts().items()
+        for _ in range(count)
+    ]
+    shuffle_rng = streams.stream("assign.traffic")
+    order = list(shuffle_rng.permutation(spec.population))
+    traffic = [traffic[position] for position in order]
+    hotspot_rng = streams.stream("assign.hotspots")
+    hotspots = sorted(
+        int(i)
+        for i in hotspot_rng.permutation(spec.population)[: spec.hotspot_count()]
+    )
+    return mobility, traffic, hotspots
+
+
+def _downlink(world: MultiTierWorld, mobile: MultiTierMobileNode):
+    """A send callable streaming CN -> mobile with route optimization."""
+
+    def send(packet: Packet) -> bool:
+        return world.cn.send_to_mobile(
+            mobile.home_address,
+            size=packet.size,
+            flow_id=packet.flow_id,
+            seq=packet.seq,
+            created_at=packet.created_at,
+        )
+
+    return send
+
+
+def _plan_flow(
+    world: MultiTierWorld,
+    mobile: MultiTierMobileNode,
+    kind: str,
+    flow_id: str,
+    streams: RandomStreams,
+    ack_dispatcher: _ElasticAckDispatcher,
+) -> Optional[_FlowPlan]:
+    """Plan one downlink flow of ``kind`` towards ``mobile``."""
+    if kind == "idle":
+        return None
+    sim = world.sim
+    sink = FlowSink(flow_id=flow_id)
+    mobile.on_data.append(sink.bind(sim))
+    send = _downlink(world, mobile)
+    cn_address = world.cn.address
+    dst = mobile.home_address
+
+    def start(duration: float) -> TrafficSource:
+        if kind == "cbr-voice":
+            source = CBRSource(
+                sim, send, cn_address, dst,
+                rate_bps=64e3, packet_size=200,
+                duration=duration, flow_id=flow_id,
+            )
+        elif kind == "onoff-voice":
+            source = OnOffSource(
+                sim, send, cn_address, dst,
+                rng=streams.stream(f"{flow_id}.talkspurts"),
+                rate_bps=64e3, packet_size=200,
+                duration=duration, flow_id=flow_id,
+            )
+        elif kind == "vbr-video":
+            source = VBRVideoSource(
+                sim, send, cn_address, dst,
+                rng=streams.stream(f"{flow_id}.frames"),
+                mean_rate_bps=128e3, frame_rate=12.5, mtu=1000,
+                duration=duration, flow_id=flow_id,
+            )
+        elif kind == "poisson-data":
+            source = PoissonSource(
+                sim, send, cn_address, dst,
+                rng=streams.stream(f"{flow_id}.arrivals"),
+                mean_rate_pps=20.0, packet_size=500,
+                duration=duration, flow_id=flow_id,
+            )
+        elif kind == "elastic-data":
+            source = ElasticSource(
+                sim, send, cn_address, dst,
+                packet_size=1000, duration=duration, flow_id=flow_id,
+            )
+            ack_dispatcher.register(source)
+            mobile.on_data.append(
+                make_ack_hook(sim, mobile.originate, flow_id=flow_id)
+            )
+        else:  # pragma: no cover - spec validation rejects this earlier
+            raise ValueError(f"unknown traffic kind {kind!r}")
+        return source.start()
+
+    return _FlowPlan(flow_id=flow_id, kind=kind, start=start, sink=sink)
+
+
+def build_scenario(spec: ScenarioSpec, seed: int) -> BuiltScenario:
+    """Assemble the world, population and traffic plan for one run."""
+    streams = RandomStreams(int(seed))
+    world = MultiTierWorld(
+        second_domain=spec.domains == 2,
+        domain_kwargs=dict(spec.domain_overrides),
+    )
+    # In-building picos alternate under the micro leaves (Fig 2.1's
+    # third hierarchy level), offset inside the parent's 400 m cell.
+    leaves = ("B", "C", "E", "F")
+    for pico in range(spec.pico_cells):
+        parent = world.domain1[leaves[pico % len(leaves)]]
+        side = 1 if (pico // len(leaves)) % 2 == 0 else -1
+        world.add_pico(
+            parent.name,
+            f"p{pico}",
+            Point(parent.cell.center.x + side * 150.0, parent.cell.center.y),
+        )
+
+    roam = roam_rectangle(spec)
+    mobility_assignment, traffic_assignment, hotspot_indices = _assignments(
+        spec, streams
+    )
+    ack_dispatcher = _ElasticAckDispatcher()
+    world.cn.on_protocol("ack", ack_dispatcher)
+
+    mobiles: list[MultiTierMobileNode] = []
+    controllers: list[MobilityController] = []
+    flow_plans: list[_FlowPlan] = []
+    for index in range(spec.population):
+        kind = traffic_assignment[index]
+        mobile = world.add_mobile(
+            f"mn{index}", bandwidth_demand=_BANDWIDTH_DEMAND[kind]
+        )
+        model = _make_mobility(mobility_assignment[index], index, streams, roam)
+        controllers.append(
+            world.add_controller(mobile, model, sample_period=spec.sample_period)
+        )
+        mobiles.append(mobile)
+        plan = _plan_flow(
+            world, mobile, kind, f"{spec.name}.mn{index}", streams, ack_dispatcher
+        )
+        if plan is not None:
+            flow_plans.append(plan)
+    # Flash-crowd hotspots: extra simultaneous correspondent flows.
+    for index in hotspot_indices:
+        for flow in range(spec.hotspot_flows):
+            plan = _plan_flow(
+                world,
+                mobiles[index],
+                "poisson-data",
+                f"{spec.name}.mn{index}.hot{flow}",
+                streams,
+                ack_dispatcher,
+            )
+            flow_plans.append(plan)
+
+    return BuiltScenario(
+        spec=spec,
+        seed=int(seed),
+        world=world,
+        mobiles=mobiles,
+        controllers=controllers,
+        mobility_assignment=mobility_assignment,
+        traffic_assignment=traffic_assignment,
+        hotspot_indices=hotspot_indices,
+        flow_plans=flow_plans,
+    )
+
+
+def run_scenario_spec(spec: ScenarioSpec, seed: int) -> dict[str, float]:
+    """Build and execute one ``(spec, seed)`` run — the backend job."""
+    return build_scenario(spec, seed).execute()
+
+
+__all__ = [
+    "BuiltScenario",
+    "build_scenario",
+    "roam_rectangle",
+    "run_scenario_spec",
+]

@@ -1,0 +1,234 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` names a complete, reproducible workload for the
+multi-tier architecture: how many domains to assemble, how many mobiles
+roam them, which mobility models and traffic sources the population is
+split across, and for how long.  The spec is pure data — the builder in
+:mod:`repro.scenarios.builder` turns it into a ready-to-run world and
+every random draw it induces is derived from the run seed through named
+:class:`~repro.sim.rng.RandomStreams`, so one ``(spec, seed)`` pair
+always produces byte-identical metrics, on any execution backend.
+
+The mobility-management literature the paper sits in (Helmy's multicast
+mobility study, the M&M micro-mobility work) evaluates protocols over
+*families* of scenarios — varied domain sizes, speeds and traffic mixes
+— rather than one hand-built topology.  This module is that family
+generator for our reproduction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+#: Mobility model keys a spec may apportion the population across.
+MOBILITY_MODELS: dict[str, str] = {
+    "stationary": "parked/idle hosts that never move",
+    "waypoint": "random-waypoint pedestrians (0.8-2.0 m/s, pauses)",
+    "manhattan": "street-grid pedestrians/cyclists with turns (8 m/s)",
+    "highway": "constant-speed vehicles along the corridor (22-33 m/s)",
+    "gauss-markov": "temporally correlated wanderers (mean 5 m/s)",
+    "random-direction": "fluid-flow travellers, uniform density (10 m/s)",
+}
+
+#: Traffic source keys a spec may apportion the population across.
+TRAFFIC_KINDS: dict[str, str] = {
+    "idle": "attached but silent (location management load only)",
+    "cbr-voice": "64 kbit/s constant-bit-rate voice downlink",
+    "onoff-voice": "64 kbit/s exponential on/off talkspurt voice",
+    "vbr-video": "VBR video, AR(1) frame sizes, ~128 kbit/s mean",
+    "poisson-data": "Poisson packet data, 20 pkt/s x 500 B",
+    "elastic-data": "greedy AIMD (TCP-like) download with real acks",
+}
+
+_MIX_TOLERANCE = 1e-6
+
+
+def _validate_mix(label: str, mix: Mapping[str, float], known: Mapping[str, str]):
+    if not mix:
+        raise ValueError(f"{label} must not be empty")
+    unknown = [key for key in mix if key not in known]
+    if unknown:
+        raise ValueError(
+            f"{label} names unknown entries {unknown}; "
+            f"known: {', '.join(known)}"
+        )
+    if any(fraction < 0 for fraction in mix.values()):
+        raise ValueError(f"{label} fractions must be non-negative")
+    total = sum(mix.values())
+    if abs(total - 1.0) > _MIX_TOLERANCE:
+        raise ValueError(f"{label} fractions must sum to 1, got {total}")
+
+
+def apportion(mix: Mapping[str, float], count: int) -> dict[str, int]:
+    """Split ``count`` individuals across ``mix`` by largest remainder.
+
+    Deterministic (ties broken by mix insertion order) and exact: the
+    returned counts sum to ``count``, and every key with a positive
+    fraction gets at least its floored share.  Keys that end up with
+    zero individuals are dropped.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    entries = [(name, fraction) for name, fraction in mix.items() if fraction > 0]
+    order = {name: position for position, (name, _) in enumerate(entries)}
+    quotas = [(name, fraction * count) for name, fraction in entries]
+    counts = {name: int(math.floor(quota)) for name, quota in quotas}
+    leftover = count - sum(counts.values())
+    by_remainder = sorted(
+        quotas,
+        key=lambda item: (-(item[1] - math.floor(item[1])), order[item[0]]),
+    )
+    for name, _ in by_remainder[:leftover]:
+        counts[name] += 1
+    return {name: n for name, n in counts.items() if n > 0}
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A named, reproducible workload for the multi-tier world.
+
+    Parameters
+    ----------
+    name:
+        Registry key; also the prefix of every flow id in the run.
+    description:
+        One line shown by ``repro scenario list``.
+    population:
+        Number of mobile nodes.
+    duration:
+        Seconds of traffic (measurement window); mobility continues
+        through warmup and drain as well.
+    mobility_mix:
+        ``model -> fraction`` over :data:`MOBILITY_MODELS`; fractions
+        sum to 1 and are apportioned exactly (largest remainder).
+    traffic_mix:
+        ``kind -> fraction`` over :data:`TRAFFIC_KINDS`, same rules.
+    seeds:
+        Default seeds ``repro scenario run`` replicates over.
+    domains:
+        1 = Fig 3.1 only; 2 = add the overlapping second domain
+        (Fig 3.3), making inter-domain handoff reachable.
+    pico_cells:
+        Extra in-building pico cells placed under the micro leaves.
+    roam:
+        ``(x_min, y_min, x_max, y_max)`` roaming area override; ``None``
+        picks a sensible area for the domain count.
+    hotspot_fraction:
+        Fraction of the population that is a correspondent hotspot:
+        each such mobile receives ``hotspot_flows`` additional
+        simultaneous downlink flows (flash-crowd behaviour).
+    hotspot_flows:
+        Extra flows per hotspot mobile.
+    sample_period:
+        Mobility controller sampling period (s).
+    warmup / drain:
+        Seconds simulated before sources start / after they stop.
+    domain_overrides:
+        Keyword overrides forwarded to every
+        :class:`~repro.multitier.domain.MultiTierDomain` (e.g.
+        ``{"wired_bandwidth": 6e6}`` to choke the backhaul).
+    notes:
+        Free text shown by ``repro scenario describe``.
+    """
+
+    name: str
+    description: str
+    population: int
+    duration: float
+    mobility_mix: Mapping[str, float]
+    traffic_mix: Mapping[str, float]
+    seeds: tuple[int, ...] = (1, 2, 3)
+    domains: int = 1
+    pico_cells: int = 0
+    roam: Optional[tuple[float, float, float, float]] = None
+    hotspot_fraction: float = 0.0
+    hotspot_flows: int = 3
+    sample_period: float = 0.5
+    warmup: float = 2.0
+    drain: float = 3.0
+    domain_overrides: Mapping[str, object] = field(default_factory=dict)
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario name must not be empty")
+        if self.population < 1:
+            raise ValueError(f"population must be >= 1, got {self.population}")
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+        if self.domains not in (1, 2):
+            raise ValueError(f"domains must be 1 or 2, got {self.domains}")
+        if self.pico_cells < 0:
+            raise ValueError("pico_cells must be non-negative")
+        if not 0.0 <= self.hotspot_fraction <= 1.0:
+            raise ValueError("hotspot_fraction must be in [0, 1]")
+        if self.hotspot_flows < 1:
+            raise ValueError("hotspot_flows must be >= 1")
+        if self.sample_period <= 0 or self.warmup < 0 or self.drain < 0:
+            raise ValueError("bad timing parameters")
+        object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
+        if not self.seeds:
+            raise ValueError("seeds must not be empty")
+        if self.roam is not None:
+            roam = tuple(float(v) for v in self.roam)
+            if len(roam) != 4 or roam[0] >= roam[2] or roam[1] >= roam[3]:
+                raise ValueError(f"bad roam rectangle {self.roam}")
+            object.__setattr__(self, "roam", roam)
+        _validate_mix(
+            f"{self.name}: mobility_mix", self.mobility_mix, MOBILITY_MODELS
+        )
+        _validate_mix(
+            f"{self.name}: traffic_mix", self.traffic_mix, TRAFFIC_KINDS
+        )
+
+    # ------------------------------------------------------------------
+    def mobility_counts(self) -> dict[str, int]:
+        """Exact per-model population counts."""
+        return apportion(self.mobility_mix, self.population)
+
+    def traffic_counts(self) -> dict[str, int]:
+        """Exact per-kind population counts."""
+        return apportion(self.traffic_mix, self.population)
+
+    def hotspot_count(self) -> int:
+        return int(math.ceil(self.hotspot_fraction * self.population))
+
+    def total_flows(self) -> int:
+        """Number of measured downlink flows the spec induces."""
+        streaming = self.population - self.traffic_counts().get("idle", 0)
+        return streaming + self.hotspot_count() * self.hotspot_flows
+
+    # ------------------------------------------------------------------
+    def replace(self, **changes) -> "ScenarioSpec":
+        """A copy with ``changes`` applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    def scaled(self, factor: float) -> "ScenarioSpec":
+        """A copy with the population scaled by ``factor``."""
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return self.replace(population=max(1, round(self.population * factor)))
+
+    def smoke(self) -> "ScenarioSpec":
+        """A shrunken copy for CI smoke runs and determinism tests.
+
+        Same code path, same mixes, same topology — just a small
+        population, short duration and a single seed.
+        """
+        return self.replace(
+            population=min(self.population, 6),
+            duration=min(self.duration, 8.0),
+            seeds=self.seeds[:1],
+            hotspot_flows=min(self.hotspot_flows, 2),
+        )
+
+
+__all__ = [
+    "MOBILITY_MODELS",
+    "TRAFFIC_KINDS",
+    "ScenarioSpec",
+    "apportion",
+]

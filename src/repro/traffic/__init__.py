@@ -2,15 +2,18 @@
 
 from repro.traffic.sink import FlowSink
 from repro.traffic.sources import (
+    ACK_BYTES,
     CBRSource,
     ElasticSource,
     OnOffSource,
     PoissonSource,
     TrafficSource,
     VBRVideoSource,
+    make_ack_hook,
 )
 
 __all__ = [
+    "ACK_BYTES",
     "CBRSource",
     "ElasticSource",
     "FlowSink",
@@ -18,4 +21,5 @@ __all__ = [
     "PoissonSource",
     "TrafficSource",
     "VBRVideoSource",
+    "make_ack_hook",
 ]

@@ -22,6 +22,39 @@ if TYPE_CHECKING:  # pragma: no cover
 SendFn = Callable[[Packet], bool]
 _flow_ids = itertools.count(1)
 
+#: Size of the bare ack packets elastic sinks send uplink.
+ACK_BYTES = 40
+
+
+def make_ack_hook(sim, reply: Callable[[Packet], object], flow_id=None):
+    """An on-data hook that acks each received data packet via ``reply``.
+
+    The canonical receiver-side wiring for :class:`ElasticSource`: the
+    ack echoes the data packet's seq as its payload and travels the real
+    uplink (``reply`` is typically ``node.originate``), so feedback pays
+    the same path costs as data.  With ``flow_id`` set, packets of other
+    flows are ignored — required when several elastic flows share one
+    receiving node's hook list.
+    """
+
+    def hook(packet: Packet) -> None:
+        if flow_id is not None and packet.flow_id != flow_id:
+            return
+        reply(
+            Packet(
+                src=packet.dst,
+                dst=packet.src,
+                size=ACK_BYTES,
+                protocol="ack",
+                payload=packet.seq,
+                flow_id=packet.flow_id,
+                seq=packet.seq,
+                created_at=sim.now,
+            )
+        )
+
+    return hook
+
 
 class TrafficSource:
     """Base class: sequence numbering and bookkeeping."""

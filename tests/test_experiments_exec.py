@@ -2,12 +2,16 @@
 registry isolation, and the confidence passthrough in sweep()."""
 
 import multiprocessing
+import os
+import pickle
+import time
 
 import pytest
 
 from repro.experiments.ablations import experiment_t1
 from repro.experiments.exec import (
     ProcessPoolBackend,
+    RemoteTraceback,
     SerialBackend,
     backend_for_jobs,
     get_default_backend,
@@ -53,12 +57,37 @@ def test_process_pool_preserves_job_order():
 
 
 @needs_fork
-def test_process_pool_propagates_job_failure():
+def test_process_pool_raises_original_exception_type():
+    """A job failure surfaces as its original type, not RuntimeError."""
+
     def boom():
         raise ValueError("scenario exploded")
 
-    with pytest.raises(RuntimeError, match="scenario exploded"):
+    with pytest.raises(ValueError, match="scenario exploded") as excinfo:
         ProcessPoolBackend(2).run([lambda: 1, boom, lambda: 3])
+    # The worker-side traceback travels along as the cause.
+    assert isinstance(excinfo.value.__cause__, RemoteTraceback)
+    assert "scenario exploded" in str(excinfo.value.__cause__)
+
+
+class _LoadsHostileError(Exception):
+    """Pickles fine but cannot unpickle: BaseException.__reduce__ stores
+    args=(message,), and __init__ then demands a second argument."""
+
+    def __init__(self, key, value):
+        super().__init__(f"{key}={value}")
+
+
+@needs_fork
+def test_process_pool_reports_exception_that_fails_to_unpickle():
+    """dumps-ok/loads-fail exceptions must not crash the queue reader."""
+
+    def boom():
+        raise _LoadsHostileError("buffer", 64)
+
+    with pytest.raises(RuntimeError, match="buffer=64") as excinfo:
+        ProcessPoolBackend(2).run([lambda: 1, boom])
+    assert "unpicklable exception" in str(excinfo.value)
 
 
 @needs_fork
@@ -66,8 +95,91 @@ def test_process_pool_unpicklable_result_fails_instead_of_hanging():
     def returns_closure():
         return lambda: 1  # closures can't cross the result queue
 
-    with pytest.raises(RuntimeError, match="pickle|failed"):
+    # pickling the closure raises (AttributeError / PicklingError) in
+    # the worker; that original exception type reaches the caller.
+    with pytest.raises((AttributeError, pickle.PicklingError, TypeError)):
         ProcessPoolBackend(2).run([lambda: 1, returns_closure, lambda: 3])
+
+
+@needs_fork
+def test_process_pool_fails_fast_on_first_failure(tmp_path):
+    """The first failure aborts the batch: trailing jobs never run."""
+
+    def boom():
+        raise KeyError("first job dies immediately")
+
+    def slow_marker(tag):
+        def job():
+            time.sleep(0.5)
+            (tmp_path / f"ran-{tag}").touch()
+            return tag
+
+        return job
+
+    # One worker claims the failing job 0 and dies; the other starts a
+    # slow job at most.  The parent aborts on the failure message and
+    # terminates the survivor, so nearly all of the eight slow jobs
+    # never run — under the old semantics all eight completed first.
+    jobs = [boom] + [slow_marker(tag) for tag in range(8)]
+    started = time.perf_counter()
+    with pytest.raises(KeyError):
+        ProcessPoolBackend(2).run(jobs)
+    elapsed = time.perf_counter() - started
+    completed = len(list(tmp_path.iterdir()))
+    assert completed <= 2, f"batch was not aborted: {completed} jobs finished"
+    # Completing the batch would take > 4 s even perfectly parallel.
+    assert elapsed < 3.0
+
+
+@needs_fork
+def test_process_pool_steals_work_from_busy_workers(tmp_path):
+    """Dynamic claiming: fast jobs drain while one worker is stuck."""
+    quick_tags = range(6)
+
+    def slow():
+        # Barrier, not a sleep: hold this worker until every quick job
+        # has finished, so the test is deterministic under load.  Only
+        # the *other* worker can create the markers — under the old
+        # static round-robin split it would own jobs 2, 4 and 6 and the
+        # barrier could never clear before the timeout.
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if all((tmp_path / f"quick-{t}").exists() for t in quick_tags):
+                break
+            time.sleep(0.01)
+        return ("slow", os.getpid())
+
+    def quick(tag):
+        def job():
+            (tmp_path / f"quick-{tag}").touch()
+            return (tag, os.getpid())
+
+        return job
+
+    results = ProcessPoolBackend(2).run([slow] + [quick(t) for t in quick_tags])
+    slow_pid = results[0][1]
+    quick_pids = {pid for _, pid in results[1:]}
+    assert all((tmp_path / f"quick-{t}").exists() for t in quick_tags)
+    assert slow_pid not in quick_pids
+
+
+def test_process_pool_warns_when_degrading_to_serial(capsys):
+    backend = ProcessPoolBackend(4)
+    backend._can_fork = False  # simulate a fork-less platform
+    assert backend.run([lambda value=v: value for v in range(3)]) == [0, 1, 2]
+    err = capsys.readouterr().err
+    assert "--jobs 4" in err and "serial" in err
+    # The warning is once per backend, not once per batch.
+    backend.run([lambda: 0])
+    assert "--jobs" not in capsys.readouterr().err
+
+
+def test_process_pool_no_warning_for_single_job_batches(capsys):
+    backend = ProcessPoolBackend(4)
+    backend._can_fork = False
+    assert backend.run([lambda: 42]) == [42]
+    # A one-job batch is serial on every platform; nothing degraded.
+    assert capsys.readouterr().err == ""
 
 
 def test_process_pool_rejects_bad_job_count():
