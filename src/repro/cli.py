@@ -8,11 +8,15 @@ Usage::
     python -m repro run all --jobs 8    # same, on 8 worker processes
     python -m repro run E3 E8 -o out/   # also write rendered tables to files
 
-    python -m repro scenario list                 # the scenario catalog
+    python -m repro scenario list                 # catalog + sweep registry
     python -m repro scenario describe mega        # one spec in full
     python -m repro scenario run city-rush-hour   # run with default seeds
     python -m repro scenario run all --jobs 4     # whole catalog, 4 workers
     python -m repro scenario run mega --seeds 1 2 # override the seed list
+
+    python -m repro scenario sweep sparse-rural/population          # one curve
+    python -m repro scenario sweep all --jobs 4 -o out/             # + figures
+    python -m repro scenario sweep campus-dense/backhaul --smoke    # CI variant
 
 ``--jobs N`` fans the per-seed scenario jobs out over N forked worker
 processes; results are identical to a serial run for the same seeds
@@ -108,7 +112,72 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write each rendered table to <dir>/scenario_<name>.txt",
     )
+
+    scenario_sweep = verbs.add_parser(
+        "sweep",
+        help="run registered scenario sweeps: per-point CI tables + figures",
+    )
+    scenario_sweep.add_argument(
+        "names",
+        nargs="+",
+        help="sweep names (see 'scenario list'), or 'all'",
+    )
+    scenario_sweep.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the (point, seed) grid (default 1 = "
+        "serial; results are identical for any N)",
+    )
+    scenario_sweep.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="SEED",
+        help="override the seeds replicated at every axis point",
+    )
+    scenario_sweep.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the shrunken CI smoke variant (2 points, 1 seed)",
+    )
+    scenario_sweep.add_argument(
+        "-o",
+        "--output-dir",
+        type=pathlib.Path,
+        default=None,
+        help="write each table to <dir>/sweep_<name>.txt and its figure "
+        "to <dir>/sweep_<name>.png (.figure.txt without matplotlib)",
+    )
     return parser
+
+
+def _expand_names(names: list[str], available: list[str], kind: str):
+    """Expand 'all' and validate ``names`` against ``available``.
+
+    Returns the concrete name list, or ``None`` after printing the
+    unknown-name error (the caller exits 2).
+    """
+    if len(names) == 1 and names[0].lower() == "all":
+        return list(available)
+    known = set(available)
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        print(f"unknown {kind}(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(available)}", file=sys.stderr)
+        return None
+    return list(names)
+
+
+def _jobs_ok(jobs: int) -> bool:
+    """Validate a --jobs value, printing the error on failure."""
+    if jobs < 1:
+        print(f"--jobs must be at least 1, got {jobs}", file=sys.stderr)
+        return False
+    return True
 
 
 def _scenario_main(args: argparse.Namespace) -> int:
@@ -121,30 +190,42 @@ def _scenario_main(args: argparse.Namespace) -> int:
                 f"dur={spec.duration:<5g} domains={spec.domains}  "
                 f"{spec.description}"
             )
+        print()
+        print("sweeps:")
+        for sweep in scenarios.iter_sweeps():
+            values = ", ".join(f"{v:g}" for v in sweep.values)
+            print(
+                f"{sweep.name:34s} {sweep.axis_label()}=({values})  "
+                f"{sweep.description}"
+            )
         return 0
 
     if args.scenario_command == "describe":
+        # Scenario names first, then sweep names (disjoint by the
+        # <scenario>/<axis> convention, but be permissive).
         try:
             print(scenarios.describe_scenario(args.name))
-        except KeyError as error:
-            print(error.args[0], file=sys.stderr)
+            return 0
+        except KeyError:
+            pass
+        try:
+            print(scenarios.describe_sweep(args.name))
+        except KeyError:
+            print(
+                f"unknown scenario or sweep {args.name!r}; available "
+                f"scenarios: {', '.join(scenarios.scenario_names())}; "
+                f"sweeps: {', '.join(scenarios.sweep_names())}",
+                file=sys.stderr,
+            )
             return 2
         return 0
 
+    if args.scenario_command == "sweep":
+        return _scenario_sweep_main(args)
+
     # scenario run ------------------------------------------------------
-    wanted = args.names
-    if len(wanted) == 1 and wanted[0].lower() == "all":
-        wanted = scenarios.scenario_names()
-    unknown = [name for name in wanted if name not in scenarios.scenario_names()]
-    if unknown:
-        print(f"unknown scenario(s): {', '.join(unknown)}", file=sys.stderr)
-        print(
-            f"available: {', '.join(scenarios.scenario_names())}",
-            file=sys.stderr,
-        )
-        return 2
-    if args.jobs < 1:
-        print(f"--jobs must be at least 1, got {args.jobs}", file=sys.stderr)
+    wanted = _expand_names(args.names, scenarios.scenario_names(), "scenario")
+    if wanted is None or not _jobs_ok(args.jobs):
         return 2
 
     specs = [scenarios.get_scenario(name) for name in wanted]
@@ -171,6 +252,45 @@ def _scenario_main(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scenario_sweep_main(args: argparse.Namespace) -> int:
+    from repro import scenarios
+    from repro.experiments.figures import save_experiment_figure
+
+    wanted = _expand_names(args.names, scenarios.sweep_names(), "sweep")
+    if wanted is None or not _jobs_ok(args.jobs):
+        return 2
+
+    backend = backend_for_jobs(args.jobs)
+    started = time.perf_counter()
+    for name in wanted:
+        # Resolve once, run exactly that: the label seeds and the grid
+        # seeds come from the same effective_sweep() call.
+        effective, base, seeds = scenarios.effective_sweep(
+            name, seeds=args.seeds, smoke=args.smoke
+        )
+        # One backend batch per sweep: the whole (point, seed) grid.
+        result = scenarios.sweep_scenario(
+            effective, base=base, seeds=seeds, backend=backend
+        )
+        text = scenarios.format_sweep_result(effective, result, seeds)
+        print(text)
+        if result.notes:
+            print(f"Notes: {result.notes}")
+        if args.output_dir is not None:
+            args.output_dir.mkdir(parents=True, exist_ok=True)
+            safe = name.replace("/", "_").lower()
+            (args.output_dir / f"sweep_{safe}.txt").write_text(text + "\n")
+            figure_path = save_experiment_figure(
+                result, args.output_dir, stem=f"sweep_{safe}"
+            )
+            print(f"figure written to {figure_path}")
+        print()
+    elapsed = time.perf_counter() - started
+    label = "sweep" if len(wanted) == 1 else "sweeps"
+    print(f"[{len(wanted)} {label} completed in {elapsed:.1f}s]")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
 
@@ -184,17 +304,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{experiment_id:6s} {summary}")
         return 0
 
-    wanted = args.experiments
-    if len(wanted) == 1 and wanted[0].lower() == "all":
-        wanted = list(ALL_EXPERIMENTS)
-    unknown = [e for e in wanted if e not in ALL_EXPERIMENTS]
-    if unknown:
-        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
-        print(f"available: {', '.join(ALL_EXPERIMENTS)}", file=sys.stderr)
-        return 2
-
-    if args.jobs < 1:
-        print(f"--jobs must be at least 1, got {args.jobs}", file=sys.stderr)
+    wanted = _expand_names(args.experiments, list(ALL_EXPERIMENTS), "experiment")
+    if wanted is None or not _jobs_ok(args.jobs):
         return 2
     # Experiments pick the backend up via get_default_backend(), so the
     # flag covers every replicate()/sweep() call they make.

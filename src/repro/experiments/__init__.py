@@ -52,6 +52,7 @@ from repro.experiments.exec import (
 from repro.experiments.elastic import experiment_e8b
 from repro.experiments.load import experiment_e11
 from repro.experiments.figures import (
+    save_experiment_figure,
     experiment_e1,
     experiment_e2,
     experiment_e3,
@@ -126,6 +127,7 @@ __all__ = [
     "run_mobileip",
     "run_multitier_rsmc",
     "run_scheme",
+    "save_experiment_figure",
     "set_default_backend",
     "sweep",
 ]

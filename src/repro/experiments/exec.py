@@ -177,6 +177,14 @@ class ProcessPoolBackend(ExecutionBackend):
         )
 
     def run(self, jobs: Sequence[Job]) -> list:
+        """Run ``jobs`` across the worker pool; results in job order.
+
+        Deterministic: workers only change *where* a job runs, never
+        its inputs, and results are re-ordered by job index, so the
+        returned list equals ``SerialBackend().run(jobs)`` for any
+        worker count.  Degrades to in-process serial execution (with a
+        one-time stderr warning) on platforms without ``fork``.
+        """
         jobs = list(jobs)
         worker_count = min(self.jobs, len(jobs))
         if not self._can_fork:

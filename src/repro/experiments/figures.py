@@ -12,13 +12,14 @@ whose ``text`` is the printable table.
 
 from __future__ import annotations
 
+import pathlib
 from functools import partial
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Union
 
 from repro.experiments import baselines
 from repro.experiments.exec import ExecutionBackend
 from repro.experiments.runner import ExperimentResult, replicate_grid, sweep
-from repro.metrics.tables import format_table
+from repro.metrics.tables import format_ascii_plot, format_table
 from repro.mobileip import ForeignAgent, HomeAgent, MobileIPNode, install_home_prefix_routes
 from repro.multitier.architecture import MultiTierWorld
 from repro.net import Network, Packet
@@ -26,6 +27,91 @@ from repro.sim import Simulator
 from repro.traffic import CBRSource, FlowSink
 
 DEFAULT_SEEDS = (1, 2, 3)
+
+
+# ----------------------------------------------------------------------
+# Figure emission (used by the scenario sweep CLI, available to any
+# ExperimentResult consumer): a result can be rendered as an actual
+# figure file, not just a table.
+# ----------------------------------------------------------------------
+def _have_matplotlib() -> bool:
+    try:
+        import matplotlib  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def save_experiment_figure(
+    result: ExperimentResult,
+    directory: Union[str, pathlib.Path],
+    stem: Optional[str] = None,
+) -> pathlib.Path:
+    """Write ``result`` as a figure file and return the written path.
+
+    One line is drawn per entry of ``result.series`` against
+    ``result.x_values``.  When matplotlib is importable the figure is a
+    PNG rendered on the ``Agg`` backend; otherwise (matplotlib is an
+    optional dependency) the same data is written as a deterministic
+    ASCII chart with a ``.txt`` suffix via
+    :func:`repro.metrics.tables.format_ascii_plot`.
+
+    Parameters
+    ----------
+    result:
+        Any :class:`~repro.experiments.runner.ExperimentResult` — the
+        sweep engine and every reproduced experiment produce one.
+    directory:
+        Output directory, created if missing.
+    stem:
+        File name without suffix; defaults to a sanitized
+        ``result.experiment_id``.
+
+    Determinism: the rendering is a pure function of the result data,
+    so figures produced from serial and ``--jobs N`` runs of the same
+    sweep are identical (byte-identical in the ASCII fallback, which is
+    what CI diffs).
+    """
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    if stem is None:
+        stem = result.experiment_id.replace("/", "_").lower()
+
+    numeric_x = all(isinstance(x, (int, float)) for x in result.x_values)
+    if _have_matplotlib():
+        # Object-oriented API on an explicit Agg canvas: no pyplot, no
+        # matplotlib.use(), so a host application's interactive backend
+        # and figure registry are left untouched.
+        from matplotlib.backends.backend_agg import FigureCanvasAgg
+        from matplotlib.figure import Figure
+
+        xs = result.x_values if numeric_x else range(len(result.x_values))
+        figure = Figure(figsize=(7.0, 4.5))
+        FigureCanvasAgg(figure)
+        axes = figure.add_subplot()
+        for name, values in result.series.items():
+            axes.plot(xs, values, marker="o", label=name)
+        if not numeric_x:
+            axes.set_xticks(list(xs))
+            axes.set_xticklabels([str(x) for x in result.x_values])
+        axes.set_xlabel(result.x_label)
+        axes.set_title(result.title)
+        axes.grid(True, alpha=0.3)
+        axes.legend()
+        path = directory / f"{stem}.png"
+        # Fixed metadata: default PNG metadata embeds the matplotlib
+        # version, which would break output-parity diffs across hosts.
+        figure.savefig(path, dpi=120, metadata={"Software": "repro"})
+        return path
+
+    path = directory / f"{stem}.figure.txt"
+    path.write_text(
+        format_ascii_plot(
+            result.x_label, result.x_values, result.series, title=result.title
+        )
+        + "\n"
+    )
+    return path
 
 
 # ----------------------------------------------------------------------

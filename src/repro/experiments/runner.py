@@ -122,6 +122,10 @@ class ExperimentResult:
     #: Per-x-value aggregates (confidence intervals included), parallel
     #: to ``x_values``.  Populated by :func:`sweep`.
     replications: list[Replication] = field(default_factory=list)
+    #: Confidence level the replications' intervals were computed at;
+    #: renderers derive their CI column labels from this so label and
+    #: data cannot disagree.
+    confidence: float = 0.95
 
     def series_mean(self, name: str) -> float:
         values = self.series[name]
@@ -166,4 +170,5 @@ def sweep(
         text=text,
         notes=notes,
         replications=replications,
+        confidence=confidence,
     )

@@ -1,11 +1,17 @@
 """Statistics and result rendering."""
 
 from repro.metrics.stats import Estimate, geometric_mean, mean_confidence, ratio
-from repro.metrics.tables import diff_counts, format_series, format_table
+from repro.metrics.tables import (
+    diff_counts,
+    format_ascii_plot,
+    format_series,
+    format_table,
+)
 
 __all__ = [
     "Estimate",
     "diff_counts",
+    "format_ascii_plot",
     "format_series",
     "format_table",
     "geometric_mean",

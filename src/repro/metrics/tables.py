@@ -65,6 +65,83 @@ def diff_counts(
     return {key: after.get(key, 0) - before.get(key, 0) for key in keys}
 
 
+def format_ascii_plot(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+    title: Optional[str] = None,
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """A figure as a deterministic ASCII chart: one letter per series.
+
+    Used as the figure fallback when matplotlib is unavailable (see
+    :func:`repro.experiments.figures.save_experiment_figure`).  Pure
+    function of its inputs — same data, same bytes — so sweep figure
+    files stay byte-identical across backends and repeats.
+
+    Parameters
+    ----------
+    x_label / x_values:
+        The shared x axis.  Non-numeric x values are plotted at their
+        index positions.
+    series:
+        ``name -> y values`` (parallel to ``x_values``); NaNs are
+        skipped.  Each series is drawn with the letter A, B, C, ... in
+        iteration order; overlapping points render as ``*``.
+    title / width / height:
+        Chart caption and plot-area size in characters.
+
+    Returns
+    -------
+    str
+        The rendered chart, including a legend and axis ranges.
+    """
+    numeric_x = all(isinstance(x, (int, float)) for x in x_values)
+    xs = [float(x) if numeric_x else float(i) for i, x in enumerate(x_values)]
+    points = []  # (column, row-from-bottom, series index)
+    ys = [
+        y
+        for values in series.values()
+        for y in values
+        if isinstance(y, (int, float)) and y == y
+    ]
+    if not xs or not ys:
+        return (title or "") + "\n(no data to plot)"
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    for index, values in enumerate(series.values()):
+        for x, y in zip(xs, values):
+            if not isinstance(y, (int, float)) or y != y:
+                continue
+            column = round((x - x_lo) / x_span * (width - 1))
+            row = round((y - y_lo) / y_span * (height - 1))
+            points.append((column, row, index))
+
+    grid = [[" "] * width for _ in range(height)]
+    for column, row, index in points:
+        cell = grid[height - 1 - row][column]
+        letter = chr(ord("A") + index % 26)
+        grid[height - 1 - row][column] = "*" if cell not in (" ", letter) else letter
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: {_cell(float(y_lo))} .. {_cell(float(y_hi))}")
+    lines.append("+" + "-" * width + "+")
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+")
+    x_left = _cell(x_values[0]) if not numeric_x else _cell(float(x_lo))
+    x_right = _cell(x_values[-1]) if not numeric_x else _cell(float(x_hi))
+    lines.append(f"x: {x_label} = {x_left} .. {x_right}")
+    for index, name in enumerate(series):
+        lines.append(f"  {chr(ord('A') + index % 26)} = {name}")
+    return "\n".join(lines)
+
+
 def _cell(value: object) -> str:
     if isinstance(value, float):
         if value != value:  # nan

@@ -8,9 +8,14 @@ traffic mix and a protocol stack into one named workload:
 * :mod:`repro.scenarios.catalog` — the registry and shipped scenarios,
   plus :func:`~repro.scenarios.catalog.replicate_scenario`, which
   dispatches runs through the execution backends with the same
-  ordered-deterministic aggregation guarantee as the experiments.
+  ordered-deterministic aggregation guarantee as the experiments;
+* :mod:`repro.scenarios.sweep` — named axes over spec fields
+  (:class:`~repro.scenarios.sweep.ScenarioSweep`), turning catalog
+  entries into paper-style figures with per-point confidence
+  intervals.
 
-CLI: ``repro scenario list | describe <name> | run <name> --jobs N``.
+CLI: ``repro scenario list | describe <name> | run <name> --jobs N |
+sweep <name> --jobs N``.
 """
 
 from repro.scenarios.builder import (
@@ -36,23 +41,43 @@ from repro.scenarios.spec import (
     ScenarioSpec,
     apportion,
 )
+from repro.scenarios.sweep import (
+    ScenarioSweep,
+    describe_sweep,
+    effective_sweep,
+    format_sweep_result,
+    get_sweep,
+    iter_sweeps,
+    register_sweep,
+    sweep_names,
+    sweep_scenario,
+)
 
 __all__ = [
     "MOBILITY_MODELS",
     "TRAFFIC_KINDS",
     "BuiltScenario",
     "ScenarioSpec",
+    "ScenarioSweep",
     "apportion",
     "build_scenario",
     "describe_scenario",
+    "describe_sweep",
+    "effective_sweep",
     "format_scenario_result",
+    "format_sweep_result",
     "get_scenario",
+    "get_sweep",
     "iter_scenarios",
+    "iter_sweeps",
     "register",
+    "register_sweep",
     "replicate_scenario",
     "replicate_scenarios",
     "roam_rectangle",
     "run_scenario",
     "run_scenario_spec",
     "scenario_names",
+    "sweep_names",
+    "sweep_scenario",
 ]

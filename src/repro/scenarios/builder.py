@@ -64,7 +64,12 @@ _BANDWIDTH_DEMAND = {
 }
 
 def roam_rectangle(spec: ScenarioSpec) -> Rectangle:
-    """The area the spec's population roams."""
+    """The area the spec's population roams.
+
+    Returns the spec's explicit ``roam`` rectangle when set, otherwise
+    a default strip just inside continuous radio coverage for the
+    spec's domain count.  Deterministic: pure function of the spec.
+    """
     if spec.roam is not None:
         return Rectangle(*spec.roam)
     bounds = _ROAM_TWO_DOMAINS if spec.domains == 2 else _ROAM_ONE_DOMAIN
@@ -319,7 +324,24 @@ def _plan_flow(
 
 
 def build_scenario(spec: ScenarioSpec, seed: int) -> BuiltScenario:
-    """Assemble the world, population and traffic plan for one run."""
+    """Assemble the world, population and traffic plan for one run.
+
+    Parameters
+    ----------
+    spec:
+        The declarative workload (validated at construction).
+    seed:
+        Run seed; all randomness flows through
+        :class:`~repro.sim.rng.RandomStreams` named per mobile index,
+        so the same ``(spec, seed)`` pair always builds an identical
+        world — the root of the catalog's determinism guarantee.
+
+    Returns
+    -------
+    BuiltScenario
+        The assembled (not yet run) world; call
+        :meth:`BuiltScenario.execute` to run it.
+    """
     streams = RandomStreams(int(seed))
     world = MultiTierWorld(
         second_domain=spec.domains == 2,
@@ -389,7 +411,14 @@ def build_scenario(spec: ScenarioSpec, seed: int) -> BuiltScenario:
 
 
 def run_scenario_spec(spec: ScenarioSpec, seed: int) -> dict[str, float]:
-    """Build and execute one ``(spec, seed)`` run — the backend job."""
+    """Build and execute one ``(spec, seed)`` run — the backend job.
+
+    Returns the plain-float metric dict from
+    :meth:`BuiltScenario.execute` (never NaN), which is what the
+    execution backends require for their ordered-deterministic
+    aggregation guarantee: the same ``(spec, seed)`` pair returns
+    byte-identical metrics in any process, on any backend.
+    """
     return build_scenario(spec, seed).execute()
 
 

@@ -15,9 +15,10 @@ workload is one call::
         traffic_mix={"cbr-voice": 0.5, "poisson-data": 0.3, "idle": 0.2},
     ))
 
-Every shipped scenario derives all randomness from the run seed, so
-``repro scenario run <name>`` is byte-identical serial vs ``--jobs N``
-and across repeats — the same guarantee the experiment suite has.
+Determinism: every shipped scenario derives all randomness from the
+run seed, so ``repro scenario run <name>`` is byte-identical serial vs
+``--jobs N`` and across repeats — the same guarantee the experiment
+suite has.
 """
 
 from __future__ import annotations
@@ -34,7 +35,12 @@ _REGISTRY: dict[str, ScenarioSpec] = {}
 
 
 def register(spec: ScenarioSpec, replace: bool = False) -> ScenarioSpec:
-    """Add ``spec`` to the catalog under ``spec.name``."""
+    """Add ``spec`` to the catalog under ``spec.name``.
+
+    ``replace=False`` (the default) raises :class:`ValueError` on a
+    duplicate name so two workloads can never silently shadow each
+    other.  Returns the registered spec for chaining.
+    """
     if not replace and spec.name in _REGISTRY:
         raise ValueError(f"scenario {spec.name!r} is already registered")
     _REGISTRY[spec.name] = spec
@@ -42,6 +48,7 @@ def register(spec: ScenarioSpec, replace: bool = False) -> ScenarioSpec:
 
 
 def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a registered spec by name; :class:`KeyError` if absent."""
     try:
         return _REGISTRY[name]
     except KeyError:
@@ -51,10 +58,12 @@ def get_scenario(name: str) -> ScenarioSpec:
 
 
 def scenario_names() -> list[str]:
+    """The registered scenario names, in registration order."""
     return list(_REGISTRY)
 
 
 def iter_scenarios() -> list[ScenarioSpec]:
+    """The registered specs, in registration order."""
     return list(_REGISTRY.values())
 
 
@@ -165,15 +174,24 @@ def describe_scenario(scenario: Union[str, ScenarioSpec]) -> str:
             f"{key}={value!r}" for key, value in spec.domain_overrides.items()
         )
         lines.append(f"  domain overrides {overrides}")
-    lines.append("  mobility mix:")
-    for model, count in spec.mobility_counts().items():
+    # Show the apportionment actually used (post largest-remainder),
+    # not the raw spec fractions: for small populations they differ,
+    # and the builder instantiates the counts, never the fractions.
+    mobility_counts = spec.mobility_counts()
+    lines.append("  mobility mix (apportioned):")
+    for model in spec.mobility_mix:
+        count = mobility_counts.get(model, 0)
         lines.append(
-            f"    {model:18s} {spec.mobility_mix[model]:5.0%}  ({count} mobiles)"
+            f"    {model:18s} {count / spec.population:5.0%}  "
+            f"({count} mobiles; spec {spec.mobility_mix[model]:.0%})"
         )
-    lines.append("  traffic mix:")
-    for kind, count in spec.traffic_counts().items():
+    traffic_counts = spec.traffic_counts()
+    lines.append("  traffic mix (apportioned):")
+    for kind in spec.traffic_mix:
+        count = traffic_counts.get(kind, 0)
         lines.append(
-            f"    {kind:18s} {spec.traffic_mix[kind]:5.0%}  ({count} mobiles)"
+            f"    {kind:18s} {count / spec.population:5.0%}  "
+            f"({count} mobiles; spec {spec.traffic_mix[kind]:.0%})"
         )
     if spec.notes:
         lines.extend(["", f"  {spec.notes}"])

@@ -6,8 +6,8 @@ roam them, which mobility models and traffic sources the population is
 split across, and for how long.  The spec is pure data — the builder in
 :mod:`repro.scenarios.builder` turns it into a ready-to-run world and
 every random draw it induces is derived from the run seed through named
-:class:`~repro.sim.rng.RandomStreams`, so one ``(spec, seed)`` pair
-always produces byte-identical metrics, on any execution backend.
+:class:`~repro.sim.rng.RandomStreams`, so one ``(spec, seed)`` pair is
+deterministic: byte-identical metrics, on any execution backend.
 
 The mobility-management literature the paper sits in (Helmy's multicast
 mobility study, the M&M micro-mobility work) evaluates protocols over
@@ -186,14 +186,21 @@ class ScenarioSpec:
 
     # ------------------------------------------------------------------
     def mobility_counts(self) -> dict[str, int]:
-        """Exact per-model population counts."""
+        """Exact per-model population counts (largest remainder).
+
+        Deterministic: depends only on the spec, never on the seed.
+        """
         return apportion(self.mobility_mix, self.population)
 
     def traffic_counts(self) -> dict[str, int]:
-        """Exact per-kind population counts."""
+        """Exact per-kind population counts (largest remainder).
+
+        Deterministic: depends only on the spec, never on the seed.
+        """
         return apportion(self.traffic_mix, self.population)
 
     def hotspot_count(self) -> int:
+        """Number of hotspot mobiles: ``ceil(fraction * population)``."""
         return int(math.ceil(self.hotspot_fraction * self.population))
 
     def total_flows(self) -> int:
