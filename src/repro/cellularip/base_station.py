@@ -18,6 +18,7 @@ from repro.net.addressing import IPAddress, Prefix
 from repro.net.link import connect
 from repro.net.node import Node
 from repro.net.packet import Packet
+from repro.radio.channel import SharedChannel, airtime_key
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.link import Link
@@ -41,7 +42,12 @@ class CIPDomain:
         wired_bandwidth: float = 100e6,
         wired_delay: float = 0.002,
         broadcast_paging: bool = True,
+        channel_bandwidth: Optional[float] = None,
     ) -> None:
+        if channel_bandwidth is not None and channel_bandwidth <= 0:
+            raise ValueError(
+                f"channel_bandwidth must be positive, got {channel_bandwidth}"
+            )
         self.sim = sim
         self.route_timeout = route_timeout
         self.paging_timeout = paging_timeout
@@ -54,6 +60,10 @@ class CIPDomain:
         self.wired_bandwidth = wired_bandwidth
         self.wired_delay = wired_delay
         self.broadcast_paging = broadcast_paging
+        #: Shared downlink air-interface budget per base station
+        #: (bit/s; uplink budget is half).  ``None`` (default) keeps
+        #: the legacy unconstrained per-mobile radio links.
+        self.channel_bandwidth = channel_bandwidth
 
         self.gateway: Optional["CIPGateway"] = None
         self.base_stations: list["CIPBaseStation"] = []
@@ -108,6 +118,16 @@ class CIPBaseStation(Node):
         self.children: list["CIPBaseStation"] = []
         self.routing_cache = RoutingCache(sim, domain.route_timeout)
         self.paging_cache = RoutingCache(sim, domain.paging_timeout)
+        #: Shared air interface of this station's cell; ``None`` =
+        #: legacy mode (unconstrained per-mobile radio links).
+        self.shared_channel: Optional[SharedChannel] = None
+        if domain.channel_bandwidth is not None:
+            self.shared_channel = SharedChannel(
+                sim,
+                f"air-{name}",
+                domain.channel_bandwidth,
+                domain.channel_bandwidth * 0.5,
+            )
         #: Radio-attached mobiles: address -> node.
         self.attached: dict[IPAddress, Node] = {}
         self.control_packets_seen = 0
@@ -122,6 +142,13 @@ class CIPBaseStation(Node):
     # Radio side
     # ------------------------------------------------------------------
     def attach_mobile(self, mobile: Node) -> None:
+        """Associate ``mobile`` on the radio side.
+
+        With a shared channel configured the link pair is gated on it
+        and the mobile's airtime claim is attached here — a semisoft
+        handoff therefore briefly holds claims on both the old and the
+        new base station, exactly like its dual radio paths.
+        """
         address = mobile.address
         if address in self.attached:
             return
@@ -131,10 +158,22 @@ class CIPBaseStation(Node):
             mobile,
             bandwidth=self.domain.wireless_bandwidth,
             delay=self.domain.wireless_delay,
+            shared_channel=self.shared_channel,
+            channel_key=airtime_key(mobile),
         )
+        if self.shared_channel is not None:
+            self.shared_channel.attach(airtime_key(mobile))
         self.attached[address] = mobile
 
     def detach_mobile(self, mobile: Node) -> None:
+        """Tear the radio association down, migrating the airtime claim.
+
+        Cancels any airtime the departed mobile still had queued on
+        this cell's shared channel (air-interface losses); a no-op in
+        legacy mode.
+        """
+        if self.shared_channel is not None and self.link_to(mobile) is not None:
+            self.shared_channel.detach(airtime_key(mobile))
         self.attached.pop(mobile.address, None)
         self.detach_link(mobile)
         mobile.detach_link(self)

@@ -24,9 +24,19 @@ if TYPE_CHECKING:  # pragma: no cover
 class CIPMobileHost(Node):
     """A mobile host inside a Cellular IP access network."""
 
-    def __init__(self, sim: "Simulator", name: str, address, domain) -> None:
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str,
+        address,
+        domain,
+        airtime_key: Optional[int] = None,
+    ) -> None:
         super().__init__(sim, name, address)
         self.domain = domain
+        #: Deterministic shared-channel arbitration key; ``None`` falls
+        #: back to a name hash in :func:`repro.radio.channel.airtime_key`.
+        self.airtime_key = airtime_key
         domain.register_mobile(address)
         self.serving_bs: Optional[CIPBaseStation] = None
         #: During semisoft handoff the host briefly hears two stations.

@@ -20,7 +20,9 @@ Usage::
 
 ``--jobs N`` fans the per-seed scenario jobs out over N forked worker
 processes; results are identical to a serial run for the same seeds
-(see :mod:`repro.experiments.exec`).
+(see :mod:`repro.experiments.exec`).  ``scenario sweep`` submits the
+union of every requested sweep's (point, seed) grid as one backend
+batch, so ``sweep all --jobs N`` overlaps small sweeps with big ones.
 """
 
 from __future__ import annotations
@@ -262,16 +264,15 @@ def _scenario_sweep_main(args: argparse.Namespace) -> int:
 
     backend = backend_for_jobs(args.jobs)
     started = time.perf_counter()
-    for name in wanted:
-        # Resolve once, run exactly that: the label seeds and the grid
-        # seeds come from the same effective_sweep() call.
-        effective, base, seeds = scenarios.effective_sweep(
-            name, seeds=args.seeds, smoke=args.smoke
-        )
-        # One backend batch per sweep: the whole (point, seed) grid.
-        result = scenarios.sweep_scenario(
-            effective, base=base, seeds=seeds, backend=backend
-        )
+    # ONE backend batch for the union of every requested sweep's
+    # (point, seed) grid: under --jobs N the pool's work-stealing queue
+    # overlaps small sweeps with big ones instead of serializing the
+    # sweeps behind each other.  Labels and grids both come from the
+    # same effective_sweep() resolution inside sweep_scenarios.
+    batch = scenarios.sweep_scenarios(
+        wanted, seeds=args.seeds, smoke=args.smoke, backend=backend
+    )
+    for name, (effective, seeds, result) in zip(wanted, batch):
         text = scenarios.format_sweep_result(effective, result, seeds)
         print(text)
         if result.notes:

@@ -67,6 +67,7 @@ from repro.experiments.runner import (
     ExperimentResult,
     Replication,
     aggregate,
+    build_sweep_result,
     replicate,
     replicate_grid,
     sweep,
@@ -105,6 +106,7 @@ __all__ = [
     "aggregate",
     "backend_for_jobs",
     "build_cip_world",
+    "build_sweep_result",
     "experiment_e1",
     "experiment_e2",
     "experiment_e3",

@@ -132,6 +132,45 @@ class ExperimentResult:
         return sum(values) / len(values) if values else float("nan")
 
 
+def build_sweep_result(
+    experiment_id: str,
+    title: str,
+    x_label: str,
+    x_values: Sequence[object],
+    replications: list[Replication],
+    metric_names: Sequence[str],
+    notes: str = "",
+    confidence: float = 0.95,
+) -> ExperimentResult:
+    """Assemble an :class:`ExperimentResult` from per-point replications.
+
+    Pure (deterministic) rendering: extracts each metric's per-point
+    means into series and formats the text table.  Shared by
+    :func:`sweep` and by callers that batch several sweeps' grids
+    through one backend run and chunk the replications themselves
+    (e.g. ``repro.scenarios.sweep.sweep_scenarios``).
+    """
+    from repro.metrics.tables import format_series
+
+    series: dict[str, list[float]] = {name: [] for name in metric_names}
+    for replication in replications:
+        for name in metric_names:
+            estimate = replication.metrics.get(name)
+            series[name].append(estimate.mean if estimate else float("nan"))
+    text = format_series(x_label, x_values, series, title=title)
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        x_label=x_label,
+        x_values=list(x_values),
+        series=series,
+        text=text,
+        notes=notes,
+        replications=replications,
+        confidence=confidence,
+    )
+
+
 def sweep(
     experiment_id: str,
     title: str,
@@ -150,25 +189,15 @@ def sweep(
     batch — row-major, seeds fastest — then aggregated per x value at
     the caller's ``confidence`` level.
     """
-    from repro.metrics.tables import format_series
-
     scenarios = [make_scenario(x) for x in x_values]
     replications = replicate_grid(scenarios, seeds, confidence, backend)
-
-    series: dict[str, list[float]] = {name: [] for name in metric_names}
-    for replication in replications:
-        for name in metric_names:
-            estimate = replication.metrics.get(name)
-            series[name].append(estimate.mean if estimate else float("nan"))
-    text = format_series(x_label, x_values, series, title=title)
-    return ExperimentResult(
-        experiment_id=experiment_id,
-        title=title,
-        x_label=x_label,
-        x_values=list(x_values),
-        series=series,
-        text=text,
+    return build_sweep_result(
+        experiment_id,
+        title,
+        x_label,
+        x_values,
+        replications,
+        metric_names,
         notes=notes,
-        replications=replications,
         confidence=confidence,
     )

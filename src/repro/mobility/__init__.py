@@ -1,4 +1,11 @@
-"""Mobility models spanning the pedestrian-to-vehicular spectrum."""
+"""Mobility models spanning the pedestrian-to-vehicular spectrum.
+
+Determinism: every stochastic model draws exclusively from the
+``numpy`` generator injected at construction (the scenario builder
+hands each mobile its own named :class:`~repro.sim.rng.RandomStreams`
+stream), so a given (model parameters, rng seed) pair always produces
+the identical trajectory — in any process, on any execution backend.
+"""
 
 from repro.mobility.base import MobilityModel, Stationary
 from repro.mobility.gauss_markov import GaussMarkov

@@ -28,6 +28,8 @@ class TracePlayback(MobilityModel):
         self._elapsed = 0.0
 
     def position_at(self, t: float) -> Point:
+        """The trace position at time ``t`` (linear interpolation,
+        clamped to the first/last waypoint outside the trace window)."""
         waypoints = self.waypoints
         if t <= waypoints[0][0]:
             return waypoints[0][1]

@@ -35,6 +35,7 @@ from repro.multitier.rsmc import RSMC
 from repro.net import Network
 from repro.net.addressing import AddressAllocator
 from repro.radio.cells import Cell, Tier
+from repro.radio.channel import ChannelPlan
 from repro.radio.geometry import Point, Rectangle
 from repro.radio.propagation import PropagationModel
 from repro.radio.signal import SignalMeter
@@ -70,11 +71,15 @@ class MultiTierWorld:
         internet_delay: float = 0.005,
         second_domain: bool = False,
         domain_kwargs: Optional[dict] = None,
+        channel_plan: Optional[ChannelPlan] = None,
     ) -> None:
         self.sim = sim if sim is not None else Simulator()
         self.network = Network(self.sim, prefix="10.0.0.0/8")
         self.realm = MobileRealm()
         self.domain_kwargs = dict(domain_kwargs or {})
+        #: Per-tier shared air-interface budgets; ``None`` (default) =
+        #: legacy unconstrained per-mobile radio links.
+        self.channel_plan = channel_plan
         self._home_allocator = AddressAllocator(HOME_PREFIX)
 
         # Wired core ----------------------------------------------------
@@ -118,8 +123,11 @@ class MultiTierWorld:
         channels: Optional[int] = None,
     ) -> MultiTierBaseStation:
         cell = None
+        shared_channel = None
         if center is not None:
             cell = Cell(name=f"cell-{name}", center=center, tier=tier, radius=radius)
+            if self.channel_plan is not None:
+                shared_channel = self.channel_plan.channel_for(self.sim, cell)
         station = MultiTierBaseStation(
             self.sim,
             name,
@@ -128,6 +136,7 @@ class MultiTierWorld:
             tier=tier,
             cell=cell,
             channels=channels,
+            shared_channel=shared_channel,
         )
         self.network.add(station)
         return station
@@ -226,7 +235,10 @@ class MultiTierWorld:
         return station
 
     def add_mobile(
-        self, name: str, bandwidth_demand: float = 0.0
+        self,
+        name: str,
+        bandwidth_demand: float = 0.0,
+        airtime_key: Optional[int] = None,
     ) -> MultiTierMobileNode:
         mobile = MultiTierMobileNode(
             self.sim,
@@ -234,6 +246,7 @@ class MultiTierWorld:
             home_address=self._home_allocator.allocate(),
             realm=self.realm,
             bandwidth_demand=bandwidth_demand,
+            airtime_key=airtime_key,
         )
         self.mobiles.append(mobile)
         return mobile
@@ -277,6 +290,7 @@ class MobilityController:
         hysteresis_db: float = 4.0,
         min_usable_dbm: float = -95.0,
         propagation: Optional[PropagationModel] = None,
+        offload_queue_threshold: int = 3,
     ) -> None:
         self.sim = sim
         self.mobile = mobile
@@ -284,6 +298,12 @@ class MobilityController:
         self.policy = policy if policy is not None else TierSelectionPolicy()
         self.sample_period = sample_period
         self.hysteresis_db = hysteresis_db
+        #: Contention mode only: downlink packets waiting on the
+        #: serving cell's shared channel before a traffic-bearing
+        #: mobile looks for a covering cell with spare airtime (the
+        #: "resources of BS" factor made real; no effect in legacy
+        #: mode, where cells have no shared channel).
+        self.offload_queue_threshold = offload_queue_threshold
         self.stations = [bs for bs in stations if bs.cell is not None]
         self._cell_to_station = {bs.cell.name: bs for bs in self.stations}
         self.meter = SignalMeter(
@@ -341,6 +361,44 @@ class MobilityController:
                 if accepted:
                     break
 
+    def _channel_congested(self, station: MultiTierBaseStation) -> bool:
+        """True when ``station``'s shared downlink queue is at or above
+        the offload threshold; always False in legacy mode (no channel).
+        """
+        from repro.radio.channel import DOWNLINK
+
+        channel = station.shared_channel
+        return (
+            channel is not None
+            and channel.queued[DOWNLINK] >= self.offload_queue_threshold
+        )
+
+    def _airtime_relief(
+        self, ordered: list[Candidate], factors: HandoffFactors
+    ) -> Optional[list[Candidate]]:
+        """Offload targets when the serving shared channel is congested.
+
+        Returns the policy-ordered covering candidates whose shared
+        channels have spare airtime (downlink queue below the offload
+        threshold), or ``None`` when the serving cell has no shared
+        channel (legacy mode), the mobile carries no traffic, or the
+        serving channel is not congested.  Deterministic: reads only
+        the channels' current queue lengths.
+        """
+        serving = self.mobile.serving_bs
+        if serving.shared_channel is None or factors.bandwidth_demand <= 0:
+            return None
+        if not self._channel_congested(serving):
+            return None
+        relief = [
+            c
+            for c in ordered
+            if c.station is not serving
+            and c.station.shared_channel is not None
+            and not self._channel_congested(c.station)
+        ]
+        return relief or None
+
     def _decide(
         self,
         position: Point,
@@ -359,13 +417,29 @@ class MobilityController:
         if serving_candidate is None or not serving.cell.covers(position):
             return [c for c in ordered if c.station is not serving]
 
+        # Factor: resources — in contention mode a congested shared
+        # channel sheds traffic-bearing mobiles toward covering cells
+        # with spare airtime (the paper's pico-overlay absorption:
+        # "system will switch MN" when the serving tier cannot carry
+        # its bandwidth).  Never fires in legacy mode (no channel).
+        relief = self._airtime_relief(ordered, factors)
+        if relief is not None:
+            return relief
+
         if not self.policy.tier_agnostic:
             # Factors: speed / bandwidth demand — switch to a tier the
-            # policy ranks strictly better than the serving one.
+            # policy ranks strictly better than the serving one.  In
+            # contention mode a congested target is never "better":
+            # without this filter the preference branch would bounce a
+            # mobile straight back into the congested cell that
+            # _airtime_relief just moved it off (handoff ping-pong).
             preference = self.policy.tier_preference(factors)
             serving_rank = preference.index(serving.tier)
             better_tier = [
-                c for c in ordered if preference.index(c.tier) < serving_rank
+                c
+                for c in ordered
+                if preference.index(c.tier) < serving_rank
+                and not self._channel_congested(c.station)
             ]
             if better_tier:
                 best_rank = min(preference.index(c.tier) for c in better_tier)
@@ -380,7 +454,9 @@ class MobilityController:
         else:
             rivals = [c for c in candidates if c.station is not serving]
 
-        # Factor: signal — a rival beats us by the hysteresis margin.
+        # Factor: signal — a rival beats us by the hysteresis margin
+        # (congested rivals excluded in contention mode, same reason).
+        rivals = [c for c in rivals if not self._channel_congested(c.station)]
         if rivals:
             best = max(rivals, key=lambda c: c.rss_dbm)
             if best.rss_dbm >= serving_candidate.rss_dbm + self.hysteresis_db:

@@ -19,11 +19,13 @@ from repro.net.link import connect
 from repro.net.node import Node
 from repro.net.packet import Packet
 from repro.radio.cells import Cell, Tier
+from repro.radio.channel import airtime_key
 from repro.sim.resources import GuardedChannelPool, Request
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.multitier.domain import MultiTierDomain
     from repro.net.link import Link
+    from repro.radio.channel import SharedChannel
     from repro.sim.kernel import Simulator
 
 
@@ -48,6 +50,7 @@ class MultiTierBaseStation(Node):
         tier: Tier,
         cell: Optional[Cell] = None,
         channels: Optional[int] = None,
+        shared_channel: Optional["SharedChannel"] = None,
     ) -> None:
         super().__init__(sim, name, address)
         if tier not in (Tier.PICO, Tier.MICRO, Tier.MACRO):
@@ -55,6 +58,9 @@ class MultiTierBaseStation(Node):
         self.domain = domain
         self.tier = tier
         self.cell = cell
+        #: The cell's shared air interface; ``None`` = legacy mode
+        #: (every radio link gets its own unconstrained transmitter).
+        self.shared_channel = shared_channel
         # Pico cells are mobility-managed exactly like micro cells
         # (§4: "The focused facilities of mobility management and
         # handoff strategy are separated into micro-cell and macro-cell")
@@ -91,7 +97,13 @@ class MultiTierBaseStation(Node):
         return self.parent is None
 
     def radio_connect(self, mobile: Node) -> None:
-        """Create the radio link pair (signalling-only until admitted)."""
+        """Create the radio link pair (signalling-only until admitted).
+
+        When this cell has a :class:`~repro.radio.channel.SharedChannel`
+        the link pair is gated on it and the mobile's airtime claim is
+        attached here — during make-before-break handoff the mobile
+        briefly holds claims on both the old and the new cell.
+        """
         if self.link_to(mobile) is None:
             connect(
                 self.sim,
@@ -99,9 +111,21 @@ class MultiTierBaseStation(Node):
                 mobile,
                 bandwidth=self.domain.wireless_bandwidth,
                 delay=self.domain.wireless_delay,
+                shared_channel=self.shared_channel,
+                channel_key=airtime_key(mobile),
             )
+            if self.shared_channel is not None:
+                self.shared_channel.attach(airtime_key(mobile))
 
     def radio_disconnect(self, mobile: Node) -> None:
+        """Tear the radio link down, migrating the airtime claim away.
+
+        Detaching the claim cancels any airtime the departed mobile
+        still had queued on this cell's shared channel (counted as
+        air-interface losses); a no-op in legacy mode.
+        """
+        if self.shared_channel is not None and self.link_to(mobile) is not None:
+            self.shared_channel.detach(airtime_key(mobile))
         self.detach_link(mobile)
         mobile.detach_link(self)
 

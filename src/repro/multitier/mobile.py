@@ -36,11 +36,16 @@ class MultiTierMobileNode(Node):
         home_address,
         realm,
         bandwidth_demand: float = 0.0,
+        airtime_key: Optional[int] = None,
     ) -> None:
         super().__init__(sim, name, home_address)
         self.home_address = IPAddress(home_address)
         realm.register(self.home_address)
         self.realm = realm
+        #: Deterministic shared-channel arbitration key (the mobile's
+        #: population index); ``None`` falls back to a name hash in
+        #: :func:`repro.radio.channel.airtime_key`.
+        self.airtime_key = airtime_key
         self.serving_bs: Optional[MultiTierBaseStation] = None
         #: Updated by the mobility controller each sampling epoch.
         self.speed = 0.0

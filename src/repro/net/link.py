@@ -109,6 +109,20 @@ class Link:
         Maximum packets queued or in serialization before tail-drop.
     loss_rate:
         Independent per-packet corruption probability (0 for wired links).
+    shared_channel:
+        Optional :class:`~repro.radio.channel.SharedChannel` gating this
+        link's serialization: instead of the private ``bandwidth``
+        transmitter, accepted packets queue for airtime on the cell's
+        shared per-direction budget (FIFO, mobile-index tie-break).
+        ``None`` (the default) keeps the legacy per-link transmitter,
+        byte-identical to pre-channel behaviour.
+    channel_direction:
+        ``"downlink"`` or ``"uplink"``: which budget of the shared
+        channel this link's transmissions consume.  Ignored without a
+        channel.
+    channel_key:
+        Deterministic arbitration tie-break key (the mobile's
+        population index).  Ignored without a channel.
     """
 
     def __init__(
@@ -121,6 +135,9 @@ class Link:
         queue_limit: int = 100,
         loss_rate: float = 0.0,
         name: Optional[str] = None,
+        shared_channel=None,
+        channel_direction: str = "downlink",
+        channel_key: int = 0,
     ) -> None:
         if bandwidth <= 0:
             raise ValueError(f"bandwidth must be positive, got {bandwidth}")
@@ -130,6 +147,11 @@ class Link:
             raise ValueError(f"queue_limit must be at least 1, got {queue_limit}")
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        if channel_direction not in ("downlink", "uplink"):
+            raise ValueError(
+                f"channel_direction must be 'downlink' or 'uplink', "
+                f"got {channel_direction!r}"
+            )
         self.sim = sim
         self.head = head
         self.tail = tail
@@ -138,6 +160,9 @@ class Link:
         self.queue_limit = queue_limit
         self.loss_rate = loss_rate
         self.name = name or f"{head.name}->{tail.name}"
+        self.shared_channel = shared_channel
+        self.channel_direction = channel_direction
+        self.channel_key = int(channel_key)
         self.stats = LinkStats()
         self._busy_until = 0.0
         self._in_flight = 0
@@ -170,6 +195,16 @@ class Link:
             self.stats.dropped_queue += 1
             return False
 
+        if self.shared_channel is not None:
+            # Contention mode: the cell's shared airtime arbiter owns
+            # serialization; it calls channel_serialized()/channel_drop()
+            # back on this link.  Per-link queue accounting is unchanged.
+            self._in_flight += 1
+            self.stats.sent += 1
+            self.stats.bytes_sent += packet.size
+            self.shared_channel.submit(self, packet)
+            return True
+
         now = self.sim.now
         start = max(now, self._busy_until)
         finish = start + self.serialization_time(packet)
@@ -181,6 +216,22 @@ class Link:
         arrival_delay = (finish + self.delay) - now
         self.sim.schedule(arrival_delay, self._deliver, packet)
         return True
+
+    # ------------------------------------------------------------------
+    # Shared-channel callbacks (contention mode only)
+    # ------------------------------------------------------------------
+    def channel_serialized(self, packet: "Packet") -> None:
+        """Airtime finished: start propagation toward the tail node."""
+        self.sim.schedule(self.delay, self._deliver, packet)
+
+    def channel_drop(self, packet: "Packet") -> None:
+        """The channel cancelled a queued packet (claim detached).
+
+        Counted as an in-flight loss (``dropped_error``): the radio is
+        gone, exactly like a legacy link going down mid-delivery.
+        """
+        self._in_flight -= 1
+        self.stats.dropped_error += 1
 
     def _deliver(self, packet: "Packet") -> None:
         self._in_flight -= 1
@@ -215,14 +266,29 @@ def connect(
     delay: float = 0.001,
     queue_limit: int = 100,
     loss_rate: float = 0.0,
+    shared_channel=None,
+    channel_key: int = 0,
 ) -> tuple[Link, Link]:
     """Create a bidirectional connection: two mirrored links.
 
     Registers each direction with the endpoint nodes so routing can find
-    the outgoing link by neighbor.
+    the outgoing link by neighbor.  When ``shared_channel`` is given,
+    ``a`` must be the base-station side: the ``a -> b`` link consumes
+    the channel's downlink budget and ``b -> a`` the uplink budget,
+    both tie-broken by ``channel_key`` (the mobile's index).
     """
-    forward = Link(sim, a, b, bandwidth, delay, queue_limit, loss_rate)
-    backward = Link(sim, b, a, bandwidth, delay, queue_limit, loss_rate)
+    forward = Link(
+        sim, a, b, bandwidth, delay, queue_limit, loss_rate,
+        shared_channel=shared_channel,
+        channel_direction="downlink",
+        channel_key=channel_key,
+    )
+    backward = Link(
+        sim, b, a, bandwidth, delay, queue_limit, loss_rate,
+        shared_channel=shared_channel,
+        channel_direction="uplink",
+        channel_key=channel_key,
+    )
     a.attach_link(forward)
     b.attach_link(backward)
     return forward, backward

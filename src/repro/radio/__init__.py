@@ -1,7 +1,23 @@
 """Radio substrate: geometry, cells and tiers, propagation, signal
-measurement and handoff triggering."""
+measurement, handoff triggering and the shared air-interface
+contention model (:mod:`repro.radio.channel`).
+
+Determinism: everything here is either pure geometry/arithmetic or —
+for the shared channel — driven by the simulator's deterministic event
+queue with an explicit (time, mobile-key) arbitration order, so a given
+world and seed produce identical radio behaviour in any process.
+"""
 
 from repro.radio.cells import TIER_DEFAULTS, Cell, Tier, best_covering_cell
+from repro.radio.channel import (
+    DIRECTIONS,
+    DOWNLINK,
+    UPLINK,
+    ChannelPlan,
+    ChannelStats,
+    SharedChannel,
+    airtime_key,
+)
 from repro.radio.geometry import (
     ORIGIN,
     Point,
@@ -20,6 +36,10 @@ from repro.radio.signal import HandoffDetector, HandoffTrigger, Measurement, Sig
 
 __all__ = [
     "Cell",
+    "ChannelPlan",
+    "ChannelStats",
+    "DIRECTIONS",
+    "DOWNLINK",
     "HandoffDetector",
     "HandoffTrigger",
     "Measurement",
@@ -28,9 +48,12 @@ __all__ = [
     "Point",
     "PropagationModel",
     "Rectangle",
+    "SharedChannel",
     "SignalMeter",
     "TIER_DEFAULTS",
     "Tier",
+    "UPLINK",
+    "airtime_key",
     "best_covering_cell",
     "centroid",
     "free_space_path_loss_db",

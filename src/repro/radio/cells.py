@@ -29,17 +29,34 @@ class Tier(enum.IntEnum):
 
 
 #: Default physical parameters per tier: coverage radius (m), per-user
-#: downlink bandwidth (bit/s), transmit power (dBm EIRP), channel count.
+#: downlink bandwidth (bit/s), transmit power (dBm EIRP), channel count,
+#: and the cell's *aggregate* shared-air-interface budgets
+#: (``channel_downlink`` / ``channel_uplink``, bit/s — what every user
+#: of the cell contends on when a
+#: :class:`~repro.radio.channel.SharedChannel` is enabled).
 #: Values follow the usual 3G-era multi-tier literature the paper cites
 #: (Ganz/Haas/Krishna '96; Iera et al. '99): pico = in-building,
 #: micro = urban street, macro = suburban umbrella.  EIRP is set so the
 #: link budget closes at the nominal cell edge under the default
 #: log-distance model (exponent 3.5, -95 dBm usable floor): an MN at
-#: the edge of the cell is audible, just barely.
+#: the edge of the cell is audible, just barely.  The shared budgets
+#: mirror the paper's Table 1 tier trade-off: the macro umbrella is
+#: wide but slow (a 384 kbit/s cell, a handful of voice calls), the
+#: micro street cell carries a shared 2 Mbit/s, and the narrow
+#: in-building pico is fast (11 Mbit/s, WLAN-class).
 TIER_DEFAULTS = {
-    Tier.PICO: {"radius": 60.0, "bandwidth": 2e6, "tx_power_dbm": 20.0, "channels": 16},
-    Tier.MICRO: {"radius": 400.0, "bandwidth": 384e3, "tx_power_dbm": 36.0, "channels": 32},
-    Tier.MACRO: {"radius": 2500.0, "bandwidth": 144e3, "tx_power_dbm": 65.0, "channels": 64},
+    Tier.PICO: {
+        "radius": 60.0, "bandwidth": 2e6, "tx_power_dbm": 20.0, "channels": 16,
+        "channel_downlink": 11e6, "channel_uplink": 5.5e6,
+    },
+    Tier.MICRO: {
+        "radius": 400.0, "bandwidth": 384e3, "tx_power_dbm": 36.0, "channels": 32,
+        "channel_downlink": 2e6, "channel_uplink": 1e6,
+    },
+    Tier.MACRO: {
+        "radius": 2500.0, "bandwidth": 144e3, "tx_power_dbm": 65.0, "channels": 64,
+        "channel_downlink": 384e3, "channel_uplink": 192e3,
+    },
 }
 
 
@@ -54,6 +71,11 @@ class Cell:
     bandwidth: float = 0.0
     tx_power_dbm: float = 0.0
     channels: int = 0
+    #: Aggregate shared air-interface budgets (bit/s); 0 picks the tier
+    #: default.  Only consulted when contention is enabled (see
+    #: :class:`repro.radio.channel.ChannelPlan`).
+    channel_downlink: float = 0.0
+    channel_uplink: float = 0.0
 
     def __post_init__(self) -> None:
         defaults = TIER_DEFAULTS[self.tier]
@@ -65,11 +87,17 @@ class Cell:
             self.tx_power_dbm = defaults["tx_power_dbm"]
         if self.channels <= 0:
             self.channels = defaults["channels"]
+        if self.channel_downlink <= 0:
+            self.channel_downlink = defaults["channel_downlink"]
+        if self.channel_uplink <= 0:
+            self.channel_uplink = defaults["channel_uplink"]
 
     def covers(self, point: Point) -> bool:
+        """True when ``point`` lies inside this cell's coverage disc."""
         return self.center.distance_to(point) <= self.radius
 
     def distance_to(self, point: Point) -> float:
+        """Distance from the cell center to ``point`` in meters."""
         return self.center.distance_to(point)
 
     def edge_proximity(self, point: Point) -> float:

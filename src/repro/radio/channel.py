@@ -1,0 +1,345 @@
+"""Shared air-interface contention: per-cell airtime arbitration.
+
+The paper's core claim — pico-cell overlays absorb multimedia load that
+macro cells cannot carry — is only testable when the air interface is a
+*shared* resource.  This module provides :class:`SharedChannel`, a
+per-cell airtime arbiter that every radio :class:`~repro.net.link.Link`
+attached to one base station contends on, replacing the historic
+unconstrained per-mobile radio links.
+
+Semantics
+---------
+* One channel per cell, with **separate downlink and uplink budgets**
+  in bits per second (the cell's aggregate over-the-air rate, not a
+  per-user rate).
+* Each budget is a single-server FIFO queue built on the sim kernel's
+  resource primitives (:class:`~repro.sim.resources.Resource` with
+  capacity 1): a packet's airtime is ``size * 8 / budget`` seconds and
+  transmissions never overlap within one direction.
+* Arbitration is FIFO by submission time with **deterministic
+  tie-breaking keyed by the mobile index** (``airtime_key``): packets
+  submitted at the same simulation instant (before that instant's
+  zero-delay arbitration event fires) are granted airtime in ascending
+  key order, then submission order.
+* A mobile holds an *airtime claim* (:meth:`SharedChannel.attach`) on
+  its serving cell's channel; handoff migrates the claim — the new base
+  station attaches it at radio-link creation (make-before-break and
+  semisoft handoffs briefly hold claims on both cells) and the old one
+  detaches it, cancelling any airtime the departed mobile still had
+  queued there (those packets are air-interface losses, counted in
+  ``Link.stats.dropped_error`` and :attr:`ChannelStats.dropped_on_detach`).
+
+Legacy mode: a link built with ``shared_channel=None`` (the default
+everywhere) keeps the historic per-link transmitter, byte-identical to
+pre-channel behaviour — the paper-replication experiments run in this
+mode.
+
+Determinism: the arbiter is driven entirely by the simulator's event
+queue and the deterministic (time, key, submission) ordering; given the
+same world and seed it grants identical airtime schedules in any
+process, on any execution backend.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.radio.cells import Cell, Tier
+from repro.sim.resources import Request, Resource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.link import Link
+    from repro.net.packet import Packet
+    from repro.sim.kernel import Simulator
+
+#: Transmission directions, as stored on ``Link.channel_direction``.
+#: Plain strings so the net layer never has to import the radio layer.
+DOWNLINK = "downlink"
+UPLINK = "uplink"
+DIRECTIONS = (DOWNLINK, UPLINK)
+
+
+def airtime_key(node) -> int:
+    """The deterministic tie-breaking key for ``node``'s transmissions.
+
+    Mobiles built by the scenario builder carry their population index
+    as ``node.airtime_key``; hand-built worlds fall back to a CRC-32 of
+    the node name (stable across processes, unlike ``hash()``).
+    """
+    key = getattr(node, "airtime_key", None)
+    if key is not None:
+        return int(key)
+    return zlib.crc32(node.name.encode("utf-8"))
+
+
+class _AirtimeRequest(Request):
+    """One queued transmission: a claim on a channel direction's server.
+
+    Sorts by ``(submission time, mobile key)`` — FIFO across time,
+    mobile-index tie-break within one simulation instant (the resource's
+    own counter breaks any remaining tie in submission order).
+    """
+
+    __slots__ = ("key", "link", "packet")
+
+    def __init__(self, resource: "Resource", key: int, link: "Link", packet: "Packet"):
+        self.key = key
+        self.link = link
+        self.packet = packet
+        super().__init__(resource)
+
+    def _key(self) -> tuple:
+        return (self.time, self.key)
+
+
+class _AirtimeServer(Resource):
+    """A capacity-1 server whose grants are deferred to end-of-instant.
+
+    A plain :class:`~repro.sim.resources.Resource` grants a slot
+    synchronously — inside ``request()`` when idle, and inside
+    ``release()`` when a serialization finishes — which would serve
+    same-instant submissions in *call* order.  Deferring every grant
+    behind a zero-delay arbitration event lets all requests submitted
+    at the same simulation time (before that event fires) reach the
+    queue first, so the (time, mobile-key) order applies both when the
+    channel is idle and when it frees up mid-instant.  Timing is
+    unchanged: the grant still happens at the same timestamp.
+    """
+
+    def __init__(self, sim: "Simulator") -> None:
+        super().__init__(sim, capacity=1)
+        self._arbitration_pending = False
+
+    def _do_request(self, request: Request) -> None:
+        from heapq import heappush
+
+        heappush(self._queue, (request._key(), next(self._tiebreak), request))
+        self._schedule_arbitration()
+
+    def release(self, request: Request) -> None:
+        """Return the slot (or cancel a waiting request), deferring the
+        follow-on grant to the end of the current instant."""
+        if request in self.users:
+            self.users.remove(request)
+            self._schedule_arbitration()
+            return
+        request.resource = None  # type: ignore[assignment]
+
+    def _schedule_arbitration(self) -> None:
+        if not self._arbitration_pending:
+            self._arbitration_pending = True
+            self.sim.schedule(0.0, self._arbitrate)
+
+    def _arbitrate(self) -> None:
+        self._arbitration_pending = False
+        self._grant_next()
+
+
+class ChannelStats:
+    """Per-channel airtime counters, split by direction."""
+
+    __slots__ = ("submitted", "granted", "dropped_on_detach", "busy_seconds")
+
+    def __init__(self) -> None:
+        #: direction -> packets handed to the arbiter.
+        self.submitted = {DOWNLINK: 0, UPLINK: 0}
+        #: direction -> packets granted airtime.
+        self.granted = {DOWNLINK: 0, UPLINK: 0}
+        #: direction -> queued packets cancelled by a claim detach.
+        self.dropped_on_detach = {DOWNLINK: 0, UPLINK: 0}
+        #: direction -> total airtime seconds granted so far.
+        self.busy_seconds = {DOWNLINK: 0.0, UPLINK: 0.0}
+
+
+class SharedChannel:
+    """The shared air interface of one cell.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator (channels are per-world, like links).
+    name:
+        Diagnostic name, conventionally ``air-<cell name>``.
+    downlink_bps / uplink_bps:
+        Aggregate over-the-air budgets in bits per second.  Every radio
+        link attached to the cell's base station serializes through
+        these two single-server FIFO queues instead of its private
+        ``bandwidth``.
+    """
+
+    def __init__(
+        self, sim: "Simulator", name: str, downlink_bps: float, uplink_bps: float
+    ) -> None:
+        if downlink_bps <= 0 or uplink_bps <= 0:
+            raise ValueError(
+                f"channel budgets must be positive, got "
+                f"downlink={downlink_bps}, uplink={uplink_bps}"
+            )
+        self.sim = sim
+        self.name = name
+        self.rates = {DOWNLINK: float(downlink_bps), UPLINK: float(uplink_bps)}
+        self._servers = {
+            DOWNLINK: _AirtimeServer(sim),
+            UPLINK: _AirtimeServer(sim),
+        }
+        #: Requests submitted but not yet granted, per direction.
+        self._waiting: dict[str, list[_AirtimeRequest]] = {
+            DOWNLINK: [],
+            UPLINK: [],
+        }
+        #: Mobile keys currently holding an airtime claim here.
+        self.attached: set[int] = set()
+        self.total_attaches = 0
+        self.stats = ChannelStats()
+
+    def __repr__(self) -> str:
+        return (
+            f"<SharedChannel {self.name} "
+            f"down={self.rates[DOWNLINK]/1e6:g}Mbps "
+            f"up={self.rates[UPLINK]/1e6:g}Mbps "
+            f"attached={len(self.attached)}>"
+        )
+
+    # ------------------------------------------------------------------
+    # Airtime claims (the per-mobile attachment, migrated on handoff)
+    # ------------------------------------------------------------------
+    def attach(self, key: int) -> None:
+        """Register mobile ``key``'s airtime claim on this channel.
+
+        Called by the base station when it creates the radio link pair;
+        during make-before-break / semisoft handoff a mobile briefly
+        holds claims on both the old and the new cell.  Idempotent.
+        """
+        if key not in self.attached:
+            self.attached.add(key)
+            self.total_attaches += 1
+
+    def detach(self, key: int) -> None:
+        """Drop mobile ``key``'s claim and cancel its queued airtime.
+
+        The old base station calls this when the radio link is torn
+        down after handoff: any transmission of the departed mobile
+        still *waiting* for airtime is cancelled (an air-interface
+        loss), while a transmission already being serialized completes
+        — exactly like a packet in flight on a legacy link.  Idempotent.
+        """
+        self.attached.discard(key)
+        for direction in DIRECTIONS:
+            keep: list[_AirtimeRequest] = []
+            for request in self._waiting[direction]:
+                if request.key == key and not request.triggered:
+                    self._servers[direction].release(request)  # cancel queued
+                    request.link.channel_drop(request.packet)
+                    self.stats.dropped_on_detach[direction] += 1
+                else:
+                    keep.append(request)
+            self._waiting[direction] = keep
+
+    # ------------------------------------------------------------------
+    # Transmission (called by Link.transmit for channel-gated links)
+    # ------------------------------------------------------------------
+    def airtime(self, direction: str, packet: "Packet") -> float:
+        """Seconds of airtime ``packet`` occupies in ``direction``."""
+        return packet.size * 8.0 / self.rates[direction]
+
+    def submit(self, link: "Link", packet: "Packet") -> None:
+        """Queue ``packet`` from ``link`` for airtime.
+
+        The link has already accepted the packet (queue-limit and
+        up/down checks are the link's); the channel grants airtime FIFO
+        with the (time, key) tie-break and calls back into the link to
+        schedule propagation once serialization finishes.
+        """
+        direction = link.channel_direction
+        self.stats.submitted[direction] += 1
+        request = _AirtimeRequest(
+            self._servers[direction], link.channel_key, link, packet
+        )
+        self._waiting[direction].append(request)
+        request.callbacks.append(self._granted)
+
+    def _granted(self, event: "_AirtimeRequest") -> None:
+        """Start serializing: hold the server for the packet's airtime."""
+        request = event
+        direction = request.link.channel_direction
+        self._waiting[direction].remove(request)
+        seconds = self.airtime(direction, request.packet)
+        self.stats.granted[direction] += 1
+        self.stats.busy_seconds[direction] += seconds
+        self.sim.schedule(seconds, self._finish, request)
+
+    def _finish(self, request: "_AirtimeRequest") -> None:
+        """Serialization done: free the server, start propagation."""
+        direction = request.link.channel_direction
+        self._servers[direction].release(request)
+        request.link.channel_serialized(request.packet)
+
+    # ------------------------------------------------------------------
+    @property
+    def queued(self) -> dict[str, int]:
+        """Transmissions currently waiting for airtime, per direction."""
+        return {
+            direction: sum(
+                1 for request in self._waiting[direction] if not request.triggered
+            )
+            for direction in DIRECTIONS
+        }
+
+
+@dataclass(frozen=True)
+class ChannelPlan:
+    """Per-tier air-interface budgets: the knob scenarios sweep.
+
+    ``None`` for a tier means "use the cell's own (tier-default)
+    budgets" from :data:`repro.radio.cells.TIER_DEFAULTS`; a number
+    overrides the *downlink* budget for every cell of that tier, with
+    the uplink budget derived as ``downlink * uplink_fraction``.
+
+    A plan only exists when contention is enabled at all —
+    ``MultiTierWorld(channel_plan=None)`` (the default) builds legacy
+    unconstrained radio links.  Deterministic: pure data.
+    """
+
+    macro_bandwidth: Optional[float] = None
+    micro_bandwidth: Optional[float] = None
+    pico_bandwidth: Optional[float] = None
+    uplink_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        for label in ("macro_bandwidth", "micro_bandwidth", "pico_bandwidth"):
+            value = getattr(self, label)
+            if value is not None and value <= 0:
+                raise ValueError(f"{label} must be positive, got {value}")
+        if not 0.0 < self.uplink_fraction <= 1.0:
+            raise ValueError(
+                f"uplink_fraction must be in (0, 1], got {self.uplink_fraction}"
+            )
+
+    def budgets(self, cell: Cell) -> tuple[float, float]:
+        """The ``(downlink, uplink)`` bits/s budgets for ``cell``."""
+        override = {
+            Tier.MACRO: self.macro_bandwidth,
+            Tier.MICRO: self.micro_bandwidth,
+            Tier.PICO: self.pico_bandwidth,
+        }[cell.tier]
+        if override is not None:
+            return float(override), float(override) * self.uplink_fraction
+        return cell.channel_downlink, cell.channel_uplink
+
+    def channel_for(self, sim: "Simulator", cell: Cell) -> SharedChannel:
+        """Build ``cell``'s :class:`SharedChannel` under this plan."""
+        downlink, uplink = self.budgets(cell)
+        return SharedChannel(sim, f"air-{cell.name}", downlink, uplink)
+
+
+__all__ = [
+    "DIRECTIONS",
+    "DOWNLINK",
+    "UPLINK",
+    "ChannelPlan",
+    "ChannelStats",
+    "SharedChannel",
+    "airtime_key",
+]

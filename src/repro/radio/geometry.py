@@ -15,6 +15,7 @@ class Point:
     y: float
 
     def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other`` in meters."""
         return math.hypot(self.x - other.x, self.y - other.y)
 
     def towards(self, other: "Point", step: float) -> "Point":
@@ -33,6 +34,7 @@ class Point:
         )
 
     def offset(self, dx: float, dy: float) -> "Point":
+        """The point translated by ``(dx, dy)`` meters."""
         return Point(self.x + dx, self.y + dy)
 
     def __iter__(self):
@@ -69,12 +71,14 @@ class Rectangle:
         return Point((self.x_min + self.x_max) / 2, (self.y_min + self.y_max) / 2)
 
     def contains(self, point: Point) -> bool:
+        """True when ``point`` lies inside (or on the edge of) the box."""
         return (
             self.x_min <= point.x <= self.x_max
             and self.y_min <= point.y <= self.y_max
         )
 
     def clamp(self, point: Point) -> Point:
+        """The nearest point inside the box (projection onto the edges)."""
         return Point(
             min(max(point.x, self.x_min), self.x_max),
             min(max(point.y, self.y_min), self.y_max),
@@ -144,6 +148,7 @@ def hex_positions(center: Point, radius: float, rings: int) -> Iterator[Point]:
 
 
 def centroid(points: Iterable[Point]) -> Point:
+    """The arithmetic mean position of ``points`` (at least one)."""
     points = list(points)
     if not points:
         raise ValueError("centroid of no points")

@@ -79,6 +79,7 @@ class PropagationModel:
         return tx_power_dbm - loss
 
     def snr_db(self, tx_power_dbm: float, distance: float) -> float:
+        """Signal-to-noise ratio in dB against the thermal noise floor."""
         return self.received_power_dbm(tx_power_dbm, distance) - NOISE_FLOOR_DBM
 
     def range_for_threshold(

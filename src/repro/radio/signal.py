@@ -42,6 +42,7 @@ class SignalMeter:
         self.min_usable_dbm = min_usable_dbm
 
     def measure(self, cell: Cell, position: Point) -> Measurement:
+        """Received signal strength of ``cell`` at ``position`` (dBm)."""
         distance = max(cell.center.distance_to(position), 1.0)
         rss = self.propagation.received_power_dbm(cell.tx_power_dbm, distance)
         return Measurement(cell, rss)
@@ -54,6 +55,7 @@ class SignalMeter:
         return audible
 
     def strongest(self, position: Point) -> Optional[Measurement]:
+        """The loudest usable measurement at ``position``, or ``None``."""
         survey = self.survey(position)
         return survey[0] if survey else None
 
@@ -93,12 +95,18 @@ class HandoffDetector:
         self._candidate_since: Optional[float] = None
 
     def reset(self) -> None:
+        """Forget the hysteresis candidate (after a handoff executes)."""
         self._candidate = None
         self._candidate_since = None
 
     def check(
         self, serving: Optional[Cell], position: Point, now: float
     ) -> Optional[HandoffTrigger]:
+        """Evaluate the survey at ``position``; a trigger or ``None``.
+
+        Applies initial attachment, the emergency drop threshold, and
+        hysteresis + time-to-trigger against the serving cell.
+        """
         survey = self.meter.survey(position)
         if not survey:
             return None

@@ -51,6 +51,7 @@ from repro.scenarios.sweep import (
     register_sweep,
     sweep_names,
     sweep_scenario,
+    sweep_scenarios,
 )
 
 __all__ = [
@@ -80,4 +81,5 @@ __all__ = [
     "scenario_names",
     "sweep_names",
     "sweep_scenario",
+    "sweep_scenarios",
 ]

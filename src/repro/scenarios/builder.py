@@ -33,7 +33,9 @@ from repro.mobility import (
 )
 from repro.multitier.architecture import MobilityController, MultiTierWorld
 from repro.multitier.mobile import MultiTierMobileNode
+from repro.multitier.policy import TierSelectionPolicy
 from repro.net.packet import Packet
+from repro.radio.channel import ChannelPlan
 from repro.radio.geometry import Point, Rectangle
 from repro.scenarios.spec import ScenarioSpec
 from repro.sim.rng import RandomStreams
@@ -76,15 +78,65 @@ def roam_rectangle(spec: ScenarioSpec) -> Rectangle:
     return Rectangle(*bounds)
 
 
+def _start_positions(
+    spec: ScenarioSpec, streams: RandomStreams, roam: Rectangle
+) -> list[Point]:
+    """Every mobile's seeded start position, drawn once per mobile.
+
+    Uses the same per-mobile stream names the mobility factory has
+    always used (``mn<i>.start.x`` / ``.y``), and each name is drawn
+    exactly once per run, so hoisting the draws out of
+    :func:`_make_mobility` leaves legacy worlds byte-identical.
+    """
+    return [
+        Point(
+            streams.uniform(f"mn{index}.start.x", roam.x_min, roam.x_max),
+            streams.uniform(f"mn{index}.start.y", roam.y_min, roam.y_max),
+        )
+        for index in range(spec.population)
+    ]
+
+
+#: Mobility models slow enough to camp in a 60 m pico cell.
+_PICO_FRIENDLY_MODELS = {"stationary", "waypoint", "manhattan", "gauss-markov"}
+
+
+def _pico_sites(
+    spec: ScenarioSpec,
+    starts: list[Point],
+    mobility_assignment: list[str],
+    traffic_assignment: list[str],
+) -> list[Point]:
+    """Contention-mode pico deployment: cells go where the load is.
+
+    The paper's in-building picos exist to absorb multimedia load the
+    wide tiers cannot carry, which presumes they are deployed at load
+    concentrations.  Under the shared-channel model we therefore place
+    each pico at the seeded start position of a slow, traffic-bearing
+    mobile (wrapping over the candidates when picos outnumber them) —
+    a pure function of (spec, seed), so determinism is untouched.
+    Legacy mode keeps the historic fixed offsets under the micro
+    leaves (see :func:`build_scenario`).
+    """
+    candidates = [
+        index
+        for index in range(spec.population)
+        if mobility_assignment[index] in _PICO_FRIENDLY_MODELS
+        and traffic_assignment[index] != "idle"
+    ]
+    if not candidates:
+        candidates = list(range(spec.population))
+    return [
+        starts[candidates[pico % len(candidates)]]
+        for pico in range(spec.pico_cells)
+    ]
+
+
 def _make_mobility(
-    kind: str, index: int, streams: RandomStreams, roam: Rectangle
+    kind: str, index: int, streams: RandomStreams, roam: Rectangle, start: Point
 ) -> MobilityModel:
     """One mobility model instance, randomness scoped to this mobile."""
     rng = streams.stream(f"mn{index}.mobility")
-    start = Point(
-        streams.uniform(f"mn{index}.start.x", roam.x_min, roam.x_max),
-        streams.uniform(f"mn{index}.start.y", roam.y_min, roam.y_max),
-    )
     if kind == "stationary":
         return Stationary(start, roam)
     if kind == "waypoint":
@@ -191,7 +243,7 @@ class BuiltScenario:
         ]
         # Metrics are plain floats and never NaN, so serial-vs-parallel
         # byte-identity is checkable with ordinary equality.
-        return {
+        metrics = {
             "population": float(spec.population),
             "flows": float(len(self.flow_plans)),
             "sent": float(sent),
@@ -214,6 +266,33 @@ class BuiltScenario:
             ),
             "hop_total": float(sum(self.world.protocol_hop_totals().values())),
         }
+        if self.world.channel_plan is not None:
+            # Contention mode only: adding keys to a legacy run would
+            # change its rendered table and break pre-channel
+            # byte-identity.
+            from repro.radio.channel import DOWNLINK, UPLINK
+
+            channels = [
+                bs.shared_channel
+                for bs in self.world.all_radio_stations()
+                if bs.shared_channel is not None
+            ]
+            window = spec.warmup + spec.duration + spec.drain
+            busiest = max(
+                (ch.stats.busy_seconds[DOWNLINK] for ch in channels),
+                default=0.0,
+            )
+            #: Downlink utilization of the most loaded cell (1 = the
+            #: air interface is the binding constraint there).
+            metrics["air_busiest_downlink"] = busiest / window
+            metrics["air_detach_drops"] = float(
+                sum(
+                    ch.stats.dropped_on_detach[DOWNLINK]
+                    + ch.stats.dropped_on_detach[UPLINK]
+                    for ch in channels
+                )
+            )
+        return metrics
 
 
 # ----------------------------------------------------------------------
@@ -343,40 +422,83 @@ def build_scenario(spec: ScenarioSpec, seed: int) -> BuiltScenario:
         :meth:`BuiltScenario.execute` to run it.
     """
     streams = RandomStreams(int(seed))
+    channel_plan = None
+    if spec.channels_enabled():
+        # Contention mode: per-cell shared channels on every tier.  The
+        # micro tier (and any unset field) runs at its TIER_DEFAULTS
+        # budget; uplink budgets are half the downlink ones.
+        channel_plan = ChannelPlan(
+            macro_bandwidth=spec.macro_channel_bandwidth,
+            pico_bandwidth=spec.pico_channel_bandwidth,
+        )
     world = MultiTierWorld(
         second_domain=spec.domains == 2,
         domain_kwargs=dict(spec.domain_overrides),
+        channel_plan=channel_plan,
     )
-    # In-building picos alternate under the micro leaves (Fig 2.1's
-    # third hierarchy level), offset inside the parent's 400 m cell.
-    leaves = ("B", "C", "E", "F")
-    for pico in range(spec.pico_cells):
-        parent = world.domain1[leaves[pico % len(leaves)]]
-        side = 1 if (pico // len(leaves)) % 2 == 0 else -1
-        world.add_pico(
-            parent.name,
-            f"p{pico}",
-            Point(parent.cell.center.x + side * 150.0, parent.cell.center.y),
-        )
-
     roam = roam_rectangle(spec)
     mobility_assignment, traffic_assignment, hotspot_indices = _assignments(
         spec, streams
     )
+    starts = _start_positions(spec, streams, roam)
+    # In-building picos (Fig 2.1's third hierarchy level).  Legacy mode
+    # keeps the historic placement: alternating fixed offsets under the
+    # micro leaves.  Contention mode deploys them at seeded population
+    # concentration points (see _pico_sites), so the pico overlay can
+    # actually absorb load — the paper's reason for its existence.
+    leaves = ("B", "C", "E", "F")
+    sites = (
+        _pico_sites(spec, starts, mobility_assignment, traffic_assignment)
+        if channel_plan is not None
+        else None
+    )
+    for pico in range(spec.pico_cells):
+        if sites is None:
+            parent = world.domain1[leaves[pico % len(leaves)]]
+            side = 1 if (pico // len(leaves)) % 2 == 0 else -1
+            center = Point(
+                parent.cell.center.x + side * 150.0, parent.cell.center.y
+            )
+        else:
+            center = sites[pico]
+            parent = min(
+                (world.domain1[name] for name in leaves),
+                key=lambda bs: bs.cell.center.distance_to(center),
+            )
+        world.add_pico(parent.name, f"p{pico}", center)
+
     ack_dispatcher = _ElasticAckDispatcher()
     world.cn.on_protocol("ack", ack_dispatcher)
 
+    # Under a shared air interface any slow, traffic-bearing mobile
+    # benefits from a covering pico's fat shared budget, so the tier
+    # policy's pico preference applies to every positive demand (with
+    # per-user dedicated radios only heavy elastic users did).
+    contention_policy = (
+        TierSelectionPolicy(demand_threshold=1.0)
+        if channel_plan is not None
+        else None
+    )
     mobiles: list[MultiTierMobileNode] = []
     controllers: list[MobilityController] = []
     flow_plans: list[_FlowPlan] = []
     for index in range(spec.population):
         kind = traffic_assignment[index]
         mobile = world.add_mobile(
-            f"mn{index}", bandwidth_demand=_BANDWIDTH_DEMAND[kind]
+            f"mn{index}",
+            bandwidth_demand=_BANDWIDTH_DEMAND[kind],
+            airtime_key=index,
         )
-        model = _make_mobility(mobility_assignment[index], index, streams, roam)
+        model = _make_mobility(
+            mobility_assignment[index], index, streams, roam, starts[index]
+        )
         controllers.append(
-            world.add_controller(mobile, model, sample_period=spec.sample_period)
+            world.add_controller(
+                mobile,
+                model,
+                sample_period=spec.sample_period,
+                policy=contention_policy,
+            )
         )
         mobiles.append(mobile)
         plan = _plan_flow(

@@ -113,6 +113,15 @@ class ScenarioSpec:
         (Fig 3.3), making inter-domain handoff reachable.
     pico_cells:
         Extra in-building pico cells placed under the micro leaves.
+    macro_channel_bandwidth / pico_channel_bandwidth:
+        Shared air-interface (downlink) budgets in bit/s for the macro
+        and pico tiers.  Both ``None`` (the default) is **legacy
+        mode**: every mobile keeps its own unconstrained radio link,
+        byte-identical to the pre-channel builder.  Setting either
+        enables per-cell contention for *all* tiers (the unset tier
+        and the micro tier fall back to the
+        :data:`repro.radio.cells.TIER_DEFAULTS` budgets); uplink
+        budgets are half the downlink ones.
     roam:
         ``(x_min, y_min, x_max, y_max)`` roaming area override; ``None``
         picks a sensible area for the domain count.
@@ -143,6 +152,8 @@ class ScenarioSpec:
     seeds: tuple[int, ...] = (1, 2, 3)
     domains: int = 1
     pico_cells: int = 0
+    macro_channel_bandwidth: Optional[float] = None
+    pico_channel_bandwidth: Optional[float] = None
     roam: Optional[tuple[float, float, float, float]] = None
     hotspot_fraction: float = 0.0
     hotspot_flows: int = 3
@@ -163,6 +174,15 @@ class ScenarioSpec:
             raise ValueError(f"domains must be 1 or 2, got {self.domains}")
         if self.pico_cells < 0:
             raise ValueError("pico_cells must be non-negative")
+        for label in ("macro_channel_bandwidth", "pico_channel_bandwidth"):
+            value = getattr(self, label)
+            if value is not None:
+                if not isinstance(value, (int, float)) or value <= 0:
+                    raise ValueError(
+                        f"{label} must be a positive number or None, "
+                        f"got {value!r}"
+                    )
+                object.__setattr__(self, label, float(value))
         if not 0.0 <= self.hotspot_fraction <= 1.0:
             raise ValueError("hotspot_fraction must be in [0, 1]")
         if self.hotspot_flows < 1:
@@ -202,6 +222,14 @@ class ScenarioSpec:
     def hotspot_count(self) -> int:
         """Number of hotspot mobiles: ``ceil(fraction * population)``."""
         return int(math.ceil(self.hotspot_fraction * self.population))
+
+    def channels_enabled(self) -> bool:
+        """True when the shared air interface contends (either channel
+        bandwidth field is set); False = legacy unconstrained radio."""
+        return (
+            self.macro_channel_bandwidth is not None
+            or self.pico_channel_bandwidth is not None
+        )
 
     def total_flows(self) -> int:
         """Number of measured downlink flows the spec induces."""

@@ -1,0 +1,19 @@
+"""Docs link integrity: every relative link in README.md and docs/*.md
+must resolve to a file in the repository (deterministic filesystem
+check; the same scan runs as a standalone CI step via
+``tools/check_doc_links.py``)."""
+
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_all_relative_docs_links_resolve():
+    sys.path.insert(0, str(REPO_ROOT / "tools"))
+    try:
+        from check_doc_links import broken_links
+    finally:
+        sys.path.pop(0)
+    problems = broken_links(REPO_ROOT)
+    assert not problems, "broken docs links:\n" + "\n".join(problems)

@@ -1,10 +1,12 @@
 """Docs-debt guard: the public API must stay documented.
 
-Walks ``__all__`` of the scenario subsystem and the execution engine
-and asserts every exported callable/class (and every public method
-defined on an exported class) carries a real docstring, and that each
-module states its determinism contract.  A `pydocstyle`-equivalent
-check without the dependency: new exports can't land undocumented.
+Walks ``__all__`` of the scenario subsystem, the execution engine, and
+the radio and mobility packages (their public APIs are the package
+``__init__`` exports plus the shared-channel module) and asserts every
+exported callable/class (and every public method defined on an
+exported class) carries a real docstring, and that each module states
+its determinism contract.  A `pydocstyle`-equivalent check without the
+dependency: new exports can't land undocumented.
 """
 
 import inspect
@@ -12,6 +14,9 @@ import inspect
 import pytest
 
 import repro.experiments.exec
+import repro.mobility
+import repro.radio
+import repro.radio.channel
 import repro.scenarios.builder
 import repro.scenarios.catalog
 import repro.scenarios.spec
@@ -23,6 +28,9 @@ MODULES = [
     repro.scenarios.catalog,
     repro.scenarios.sweep,
     repro.experiments.exec,
+    repro.radio,
+    repro.radio.channel,
+    repro.mobility,
 ]
 
 MIN_DOCSTRING = 20  # characters; rules out placeholder one-worders

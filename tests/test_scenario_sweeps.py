@@ -207,10 +207,15 @@ def test_registry_covers_the_papers_axes():
 
 
 def test_registered_metrics_exist_in_scenario_output():
-    metrics = set(
-        run_scenario_spec(get_scenario("sparse-rural").smoke(), seed=1)
-    )
+    # Each sweep's metrics must exist in the output of its OWN derived
+    # spec (the air_* keys only exist when the axis enables channels,
+    # so a shared reference run would let a legacy sweep reference
+    # contention-only metrics and crash mid-run instead of here).
     for sweep in iter_sweeps():
+        spec = sweep.derive(
+            get_scenario(sweep.scenario).smoke(), sweep.values[0]
+        )
+        metrics = set(run_scenario_spec(spec, seed=1))
         missing = set(sweep.metrics) - metrics
         assert not missing, f"{sweep.name} extracts unknown metrics {missing}"
 

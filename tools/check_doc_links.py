@@ -1,0 +1,56 @@
+"""Check that every relative link in the docs resolves to a real file.
+
+Scans ``README.md`` and ``docs/*.md`` for markdown links and image
+references, ignores absolute URLs (``http(s)://``, ``mailto:``) and
+pure in-page anchors (``#...``), and verifies each remaining target —
+resolved against the file containing it, minus any ``#fragment`` —
+exists on disk.  Exits non-zero listing every broken link.
+
+Run from the repository root (CI does)::
+
+    python tools/check_doc_links.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+#: Inline markdown links/images: [text](target) / ![alt](target).
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def broken_links(root: pathlib.Path) -> list[str]:
+    """Every broken relative link under ``root``, as ``file: target``."""
+    documents = [root / "README.md"] + sorted((root / "docs").glob("*.md"))
+    problems: list[str] = []
+    for document in documents:
+        if not document.exists():
+            continue
+        for target in _LINK.findall(document.read_text()):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (document.parent / path).resolve()
+            if not resolved.exists():
+                problems.append(f"{document.relative_to(root)}: {target}")
+    return problems
+
+
+def main() -> int:
+    """CLI entry point: print broken links, return a shell exit code."""
+    root = pathlib.Path(__file__).resolve().parent.parent
+    problems = broken_links(root)
+    for problem in problems:
+        print(f"broken link - {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    print("all relative docs links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
