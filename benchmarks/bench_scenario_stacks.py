@@ -1,0 +1,31 @@
+"""Cross-stack scenario smoke bench: per-stack wall-clock.
+
+Runs the ``campus-dense`` smoke scenario once under each registered
+protocol stack (multitier / cellularip / mobileip) and records one
+pytest-benchmark timing per stack, so stack-cost regressions (a
+baseline suddenly 10x slower than the paper's architecture) show up in
+the bench history.  ``REPRO_BENCH_JOBS=N`` routes the per-seed jobs
+through a pool backend, as with every engine-aware bench.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.scenarios import get_scenario, replicate_scenario
+from repro.stacks import stack_names
+
+
+@pytest.mark.parametrize("stack", stack_names())
+def test_bench_scenario_stack_smoke(benchmark, execution_backend, stack):
+    spec = get_scenario("campus-dense").smoke().replace(stack=stack)
+    replication = run_once(
+        benchmark,
+        lambda: replicate_scenario(spec, backend=execution_backend),
+    )
+    # Shape: the run produced traffic and every mobile ended attached.
+    assert replication.mean("sent") > 0
+    assert replication.mean("attached") == float(spec.population)
+    # Shape: the common cross-stack metrics all came back finite.
+    for name in ("loss_rate", "mean_delay", "handoffs", "hop_total"):
+        value = replication.mean(name)
+        assert value == value  # not NaN

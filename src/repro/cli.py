@@ -14,15 +14,24 @@ Usage::
     python -m repro scenario run all --jobs 4     # whole catalog, 4 workers
     python -m repro scenario run mega --seeds 1 2 # override the seed list
 
+    python -m repro scenario run city-rush-hour --stack all         # 3 stacks,
+                                                # side-by-side comparison table
+    python -m repro scenario run campus-dense --stack mobileip      # 1 baseline
+
     python -m repro scenario sweep sparse-rural/population          # one curve
     python -m repro scenario sweep all --jobs 4 -o out/             # + figures
     python -m repro scenario sweep campus-dense/backhaul --smoke    # CI variant
+    python -m repro scenario sweep flash-crowd/hotspot-fraction --stack all
 
 ``--jobs N`` fans the per-seed scenario jobs out over N forked worker
 processes; results are identical to a serial run for the same seeds
 (see :mod:`repro.experiments.exec`).  ``scenario sweep`` submits the
 union of every requested sweep's (point, seed) grid as one backend
 batch, so ``sweep all --jobs N`` overlaps small sweeps with big ones.
+``--stack <name|all>`` reruns the same scenarios under another
+registered protocol stack (see :mod:`repro.stacks`); ``--stack all``
+dispatches the whole (stack, scenario, seed) grid as ONE batch and,
+for ``scenario run``, renders a side-by-side comparison table.
 """
 
 from __future__ import annotations
@@ -108,6 +117,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run the shrunken CI smoke variant of each scenario",
     )
     scenario_run.add_argument(
+        "--stack",
+        default=None,
+        metavar="STACK",
+        help="protocol stack to run under (a registered stack name, or "
+        "'all' for a side-by-side multitier/cellularip/mobileip "
+        "comparison); default: each spec's own stack",
+    )
+    scenario_run.add_argument(
         "-o",
         "--output-dir",
         type=pathlib.Path,
@@ -147,6 +164,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run the shrunken CI smoke variant (2 points, 1 seed)",
     )
     scenario_sweep.add_argument(
+        "--stack",
+        default=None,
+        metavar="STACK",
+        help="protocol stack to sweep under (a registered stack name, "
+        "or 'all' to run every sweep once per stack); default: each "
+        "base spec's own stack",
+    )
+    scenario_sweep.add_argument(
         "-o",
         "--output-dir",
         type=pathlib.Path,
@@ -178,6 +203,27 @@ def _jobs_ok(jobs: int) -> bool:
     """Validate a --jobs value, printing the error on failure."""
     if jobs < 1:
         print(f"--jobs must be at least 1, got {jobs}", file=sys.stderr)
+        return False
+    return True
+
+
+def _stack_ok(stack: str | None) -> bool:
+    """Validate a --stack value eagerly, printing the error on failure.
+
+    Accepts ``None`` (spec default), a registered stack name, or
+    ``'all'``; anything else fails before any simulation runs, with
+    the registered names listed.
+    """
+    if stack is None or stack == "all":
+        return True
+    from repro.stacks import get_stack
+
+    try:
+        get_stack(stack)
+    except KeyError as error:
+        # Reuse the registry's own message (single source of truth for
+        # the registered-names listing), adding the CLI-only sentinel.
+        print(f"{error.args[0]} (or 'all')", file=sys.stderr)
         return False
     return True
 
@@ -227,18 +273,49 @@ def _scenario_main(args: argparse.Namespace) -> int:
 
     # scenario run ------------------------------------------------------
     wanted = _expand_names(args.names, scenarios.scenario_names(), "scenario")
-    if wanted is None or not _jobs_ok(args.jobs):
+    if wanted is None or not _jobs_ok(args.jobs) or not _stack_ok(args.stack):
         return 2
 
     specs = [scenarios.get_scenario(name) for name in wanted]
     if args.smoke:
         specs = [spec.smoke() for spec in specs]
+
+    if args.stack == "all":
+        # Cross-stack mode: the whole (scenario, stack, seed) grid is
+        # ONE backend batch; each scenario renders a side-by-side
+        # multitier/cellularip/mobileip comparison table.
+        started = time.perf_counter()
+        comparisons = scenarios.compare_scenario_stacks(
+            specs, seeds=args.seeds, backend=backend_for_jobs(args.jobs)
+        )
+        elapsed = time.perf_counter() - started
+        for comparison in comparisons:
+            text = scenarios.format_stack_comparison(comparison)
+            print(text)
+            print()
+            if args.output_dir is not None:
+                args.output_dir.mkdir(parents=True, exist_ok=True)
+                safe = comparison.spec.name.replace("/", "_").lower()
+                (args.output_dir / f"scenario_{safe}_stacks.txt").write_text(
+                    text + "\n"
+                )
+        label = (
+            "stack comparison"
+            if len(comparisons) == 1
+            else "stack comparisons"
+        )
+        print(f"[{len(comparisons)} {label} completed in {elapsed:.1f}s]")
+        return 0
+
     # One batch for the whole (scenario, seed) grid: the pool's
     # work-stealing queue balances across scenarios, so a single-seed
     # heavyweight (mega) still overlaps its neighbours under --jobs N.
     started = time.perf_counter()
     batch = scenarios.replicate_scenarios(
-        specs, seeds=args.seeds, backend=backend_for_jobs(args.jobs)
+        specs,
+        seeds=args.seeds,
+        backend=backend_for_jobs(args.jobs),
+        stack=args.stack,
     )
     elapsed = time.perf_counter() - started
     for spec, seeds, replication in batch:
@@ -248,10 +325,25 @@ def _scenario_main(args: argparse.Namespace) -> int:
         if args.output_dir is not None:
             args.output_dir.mkdir(parents=True, exist_ok=True)
             safe = spec.name.replace("/", "_").lower()
-            (args.output_dir / f"scenario_{safe}.txt").write_text(text + "\n")
+            suffix = _stack_suffix(spec.stack)
+            (args.output_dir / f"scenario_{safe}{suffix}.txt").write_text(
+                text + "\n"
+            )
     label = "scenario" if len(batch) == 1 else "scenarios"
     print(f"[{len(batch)} {label} completed in {elapsed:.1f}s]")
     return 0
+
+
+def _stack_suffix(stack: str) -> str:
+    """Output-file suffix for a non-default stack ("" for the default).
+
+    Keeps default-stack filenames identical to pre-stacks output so the
+    CI parity gates (``diff -r`` serial vs ``--jobs N``) and historical
+    tooling keep working unchanged.
+    """
+    from repro.stacks import DEFAULT_STACK
+
+    return "" if stack == DEFAULT_STACK else f"--{stack}"
 
 
 def _scenario_sweep_main(args: argparse.Namespace) -> int:
@@ -259,27 +351,43 @@ def _scenario_sweep_main(args: argparse.Namespace) -> int:
     from repro.experiments.figures import save_experiment_figure
 
     wanted = _expand_names(args.names, scenarios.sweep_names(), "sweep")
-    if wanted is None or not _jobs_ok(args.jobs):
+    if wanted is None or not _jobs_ok(args.jobs) or not _stack_ok(args.stack):
         return 2
+
+    if args.stack is None:
+        stack_list = None  # each base spec's own stack; legacy output
+    elif args.stack == "all":
+        from repro.stacks import stack_names
+
+        stack_list = list(stack_names())
+    else:
+        stack_list = [args.stack]
 
     backend = backend_for_jobs(args.jobs)
     started = time.perf_counter()
-    # ONE backend batch for the union of every requested sweep's
-    # (point, seed) grid: under --jobs N the pool's work-stealing queue
-    # overlaps small sweeps with big ones instead of serializing the
-    # sweeps behind each other.  Labels and grids both come from the
-    # same effective_sweep() resolution inside sweep_scenarios.
+    # ONE backend batch for the union of every requested (sweep, stack)
+    # pair's (point, seed) grid: under --jobs N the pool's
+    # work-stealing queue overlaps small sweeps with big ones instead
+    # of serializing the sweeps behind each other.  Labels and grids
+    # both come from the same effective_sweep() resolution inside
+    # sweep_scenarios, and each returned entry carries the rebound
+    # base spec that ran — its stack field names the output files.
     batch = scenarios.sweep_scenarios(
-        wanted, seeds=args.seeds, smoke=args.smoke, backend=backend
+        wanted,
+        seeds=args.seeds,
+        smoke=args.smoke,
+        backend=backend,
+        stacks=stack_list,
     )
-    for name, (effective, seeds, result) in zip(wanted, batch):
+    for effective, base, seeds, result in batch:
         text = scenarios.format_sweep_result(effective, result, seeds)
         print(text)
         if result.notes:
             print(f"Notes: {result.notes}")
         if args.output_dir is not None:
             args.output_dir.mkdir(parents=True, exist_ok=True)
-            safe = name.replace("/", "_").lower()
+            safe = effective.name.replace("/", "_").lower()
+            safe += _stack_suffix(base.stack)
             (args.output_dir / f"sweep_{safe}.txt").write_text(text + "\n")
             figure_path = save_experiment_figure(
                 result, args.output_dir, stem=f"sweep_{safe}"
@@ -287,8 +395,8 @@ def _scenario_sweep_main(args: argparse.Namespace) -> int:
             print(f"figure written to {figure_path}")
         print()
     elapsed = time.perf_counter() - started
-    label = "sweep" if len(wanted) == 1 else "sweeps"
-    print(f"[{len(wanted)} {label} completed in {elapsed:.1f}s]")
+    label = "sweep" if len(batch) == 1 else "sweeps"
+    print(f"[{len(batch)} {label} completed in {elapsed:.1f}s]")
     return 0
 
 

@@ -16,9 +16,11 @@ from repro.net.link import connect
 from repro.net.node import Node
 from repro.net.packet import Packet, decapsulate
 from repro.net.router import Router
+from repro.radio.channel import airtime_key
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.link import Link
+    from repro.radio.channel import SharedChannel
     from repro.sim.kernel import Simulator
 
 
@@ -42,11 +44,18 @@ class ForeignAgent(Router):
         advertisement_interval: float = 1.0,
         wireless_bandwidth: float = 11e6,
         wireless_delay: float = 0.002,
+        shared_channel: Optional["SharedChannel"] = None,
     ) -> None:
         super().__init__(sim, name, address)
         self.advertisement_interval = advertisement_interval
         self.wireless_bandwidth = wireless_bandwidth
         self.wireless_delay = wireless_delay
+        #: Shared air interface of this FA's cell; ``None`` = legacy
+        #: mode (unconstrained per-mobile radio links).  When set, both
+        #: downlink deliveries and the mobiles' uplink traffic
+        #: (registration requests, elastic acks, data) contend on it —
+        #: apples-to-apples with the Cellular IP and multi-tier stacks.
+        self.shared_channel = shared_channel
         #: Mobiles radio-attached to this FA's link (pre-registration).
         self.attached: dict[IPAddress, Node] = {}
         #: Mobiles whose registration through this FA was accepted.
@@ -66,7 +75,12 @@ class ForeignAgent(Router):
     # Radio attachment management (called by the mobility controller)
     # ------------------------------------------------------------------
     def attach_mobile(self, mobile: Node) -> None:
-        """Wire the mobile to this FA's link and advertise immediately."""
+        """Wire the mobile to this FA's link and advertise immediately.
+
+        With a shared channel configured the link pair is gated on it
+        (downlink and uplink budgets both) and the mobile's airtime
+        claim is attached here.
+        """
         address = mobile.address
         if address in self.attached:
             return
@@ -76,12 +90,23 @@ class ForeignAgent(Router):
             mobile,
             bandwidth=self.wireless_bandwidth,
             delay=self.wireless_delay,
+            shared_channel=self.shared_channel,
+            channel_key=airtime_key(mobile),
         )
+        if self.shared_channel is not None:
+            self.shared_channel.attach(airtime_key(mobile))
         self.attached[address] = mobile
         self._send_advertisement(mobile)
 
     def detach_mobile(self, mobile: Node) -> None:
-        """Tear the radio link down (the mobile left coverage)."""
+        """Tear the radio link down (the mobile left coverage).
+
+        Cancels any airtime the departed mobile still had queued on
+        this cell's shared channel (air-interface losses); a no-op in
+        legacy mode.
+        """
+        if self.shared_channel is not None and self.link_to(mobile) is not None:
+            self.shared_channel.detach(airtime_key(mobile))
         self.attached.pop(mobile.address, None)
         self.visitors.pop(mobile.address, None)
         self.detach_link(mobile)

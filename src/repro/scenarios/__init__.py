@@ -12,10 +12,15 @@ traffic mix and a protocol stack into one named workload:
 * :mod:`repro.scenarios.sweep` — named axes over spec fields
   (:class:`~repro.scenarios.sweep.ScenarioSweep`), turning catalog
   entries into paper-style figures with per-point confidence
-  intervals.
+  intervals;
+* :mod:`repro.scenarios.compare` — cross-stack comparison
+  (:func:`~repro.scenarios.compare.compare_scenario_stacks`): any
+  scenario under every registered protocol stack (multi-tier,
+  Cellular IP, Mobile IP — see :mod:`repro.stacks`) as one backend
+  batch, rendered side by side.
 
-CLI: ``repro scenario list | describe <name> | run <name> --jobs N |
-sweep <name> --jobs N``.
+CLI: ``repro scenario list | describe <name> | run <name> --jobs N
+[--stack <name|all>] | sweep <name> --jobs N [--stack <name|all>]``.
 """
 
 from repro.scenarios.builder import (
@@ -34,6 +39,11 @@ from repro.scenarios.catalog import (
     replicate_scenarios,
     run_scenario,
     scenario_names,
+)
+from repro.scenarios.compare import (
+    StackComparison,
+    compare_scenario_stacks,
+    format_stack_comparison,
 )
 from repro.scenarios.spec import (
     MOBILITY_MODELS,
@@ -60,12 +70,15 @@ __all__ = [
     "BuiltScenario",
     "ScenarioSpec",
     "ScenarioSweep",
+    "StackComparison",
     "apportion",
     "build_scenario",
+    "compare_scenario_stacks",
     "describe_scenario",
     "describe_sweep",
     "effective_sweep",
     "format_scenario_result",
+    "format_stack_comparison",
     "format_sweep_result",
     "get_scenario",
     "get_sweep",

@@ -1,414 +1,48 @@
 """Instantiate a :class:`~repro.scenarios.spec.ScenarioSpec` into a
-ready-to-run world and execute it.
+ready-to-run world under its protocol stack, and execute it.
 
-The builder is the bridge between the declarative catalog and the
-simulation substrate: it assembles a
-:class:`~repro.multitier.architecture.MultiTierWorld` (one or two
-domains, optional pico cells), spawns the mobile population with
-mobility models and per-mobile controllers, and plans the traffic mix.
-All randomness — start positions, model dynamics, population
-assignments — flows through named :class:`~repro.sim.rng.RandomStreams`
-keyed by mobile index, so a ``(spec, seed)`` pair is fully reproducible
-and adding one mobile never perturbs another's trajectory.
+Since the stacks refactor this module is a thin dispatcher: the
+world-assembly logic lives in the stack adapters under
+:mod:`repro.stacks` (the multi-tier code moved verbatim to
+:mod:`repro.stacks.multitier`), and :func:`build_scenario` routes a
+spec to the adapter named by its ``stack`` field (default
+``"multitier"``).  Every adapter instantiates the *same* seeded
+population and traffic plan (:mod:`repro.stacks.population`), so runs
+of different stacks at one seed are directly comparable.
 
 :func:`run_scenario_spec` is the execution-engine job entry point: it
 builds, runs warmup → traffic → drain, and returns a plain-float metric
 dict, which is exactly what the PR 1 backends require for their
 ordered-deterministic aggregation guarantee.
+
+Determinism: dispatch is pure table lookup; each adapter derives all
+randomness from the run seed through named
+:class:`~repro.sim.rng.RandomStreams`, so one ``(spec, seed)`` pair —
+stack field included — returns byte-identical metrics in any process,
+on any execution backend.  ``stack="multitier"`` output is pinned
+byte-for-byte to the pre-refactor builder by the
+``results/scenarios_smoke/`` goldens.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Optional
-
-from repro.mobility import (
-    GaussMarkov,
-    Highway,
-    ManhattanGrid,
-    MobilityModel,
-    RandomDirection,
-    RandomWaypoint,
-    Stationary,
-)
-from repro.multitier.architecture import MobilityController, MultiTierWorld
-from repro.multitier.mobile import MultiTierMobileNode
-from repro.multitier.policy import TierSelectionPolicy
-from repro.net.packet import Packet
-from repro.radio.channel import ChannelPlan
-from repro.radio.geometry import Point, Rectangle
 from repro.scenarios.spec import ScenarioSpec
-from repro.sim.rng import RandomStreams
-from repro.traffic import (
-    CBRSource,
-    ElasticSource,
-    FlowSink,
-    OnOffSource,
-    PoissonSource,
-    TrafficSource,
-    VBRVideoSource,
-    make_ack_hook,
-)
-
-#: Default roaming areas: stay just inside continuous radio coverage.
-_ROAM_ONE_DOMAIN = (-4200.0, -1200.0, 4200.0, 1200.0)
-_ROAM_TWO_DOMAINS = (-4200.0, -1200.0, 7000.0, 1200.0)
-
-#: Nominal downlink demand (bit/s) per traffic kind — the bandwidth
-#: factor of the paper's three-factor handoff decision (§3.2).
-_BANDWIDTH_DEMAND = {
-    "idle": 0.0,
-    "cbr-voice": 64e3,
-    "onoff-voice": 64e3,
-    "vbr-video": 128e3,
-    "poisson-data": 80e3,
-    "elastic-data": 256e3,
-}
-
-def roam_rectangle(spec: ScenarioSpec) -> Rectangle:
-    """The area the spec's population roams.
-
-    Returns the spec's explicit ``roam`` rectangle when set, otherwise
-    a default strip just inside continuous radio coverage for the
-    spec's domain count.  Deterministic: pure function of the spec.
-    """
-    if spec.roam is not None:
-        return Rectangle(*spec.roam)
-    bounds = _ROAM_TWO_DOMAINS if spec.domains == 2 else _ROAM_ONE_DOMAIN
-    return Rectangle(*bounds)
+from repro.stacks.multitier import BuiltScenario
+from repro.stacks.population import roam_rectangle
+from repro.stacks.registry import get_stack
 
 
-def _start_positions(
-    spec: ScenarioSpec, streams: RandomStreams, roam: Rectangle
-) -> list[Point]:
-    """Every mobile's seeded start position, drawn once per mobile.
-
-    Uses the same per-mobile stream names the mobility factory has
-    always used (``mn<i>.start.x`` / ``.y``), and each name is drawn
-    exactly once per run, so hoisting the draws out of
-    :func:`_make_mobility` leaves legacy worlds byte-identical.
-    """
-    return [
-        Point(
-            streams.uniform(f"mn{index}.start.x", roam.x_min, roam.x_max),
-            streams.uniform(f"mn{index}.start.y", roam.y_min, roam.y_max),
-        )
-        for index in range(spec.population)
-    ]
-
-
-#: Mobility models slow enough to camp in a 60 m pico cell.
-_PICO_FRIENDLY_MODELS = {"stationary", "waypoint", "manhattan", "gauss-markov"}
-
-
-def _pico_sites(
-    spec: ScenarioSpec,
-    starts: list[Point],
-    mobility_assignment: list[str],
-    traffic_assignment: list[str],
-) -> list[Point]:
-    """Contention-mode pico deployment: cells go where the load is.
-
-    The paper's in-building picos exist to absorb multimedia load the
-    wide tiers cannot carry, which presumes they are deployed at load
-    concentrations.  Under the shared-channel model we therefore place
-    each pico at the seeded start position of a slow, traffic-bearing
-    mobile (wrapping over the candidates when picos outnumber them) —
-    a pure function of (spec, seed), so determinism is untouched.
-    Legacy mode keeps the historic fixed offsets under the micro
-    leaves (see :func:`build_scenario`).
-    """
-    candidates = [
-        index
-        for index in range(spec.population)
-        if mobility_assignment[index] in _PICO_FRIENDLY_MODELS
-        and traffic_assignment[index] != "idle"
-    ]
-    if not candidates:
-        candidates = list(range(spec.population))
-    return [
-        starts[candidates[pico % len(candidates)]]
-        for pico in range(spec.pico_cells)
-    ]
-
-
-def _make_mobility(
-    kind: str, index: int, streams: RandomStreams, roam: Rectangle, start: Point
-) -> MobilityModel:
-    """One mobility model instance, randomness scoped to this mobile."""
-    rng = streams.stream(f"mn{index}.mobility")
-    if kind == "stationary":
-        return Stationary(start, roam)
-    if kind == "waypoint":
-        return RandomWaypoint(
-            start, roam, rng, speed_range=(0.8, 2.0), pause_range=(0.0, 8.0)
-        )
-    if kind == "manhattan":
-        block = min(200.0, roam.width / 4, roam.height / 2)
-        return ManhattanGrid(start, roam, rng, block_size=block, speed=8.0)
-    if kind == "highway":
-        # Vehicles drive a lane across the middle of the roam area.
-        lane = Point(start.x, roam.center.y)
-        speed = streams.uniform(f"mn{index}.speed", 22.0, 33.0)
-        return Highway(lane, roam, rng, speed=speed, wrap=True, speed_jitter=1.0)
-    if kind == "gauss-markov":
-        return GaussMarkov(start, roam, rng, mean_speed=5.0)
-    if kind == "random-direction":
-        return RandomDirection(start, roam, rng, speed=10.0)
-    raise ValueError(f"unknown mobility model {kind!r}")
-
-
-class _ElasticAckDispatcher:
-    """One CN-side 'ack' handler fanning out to every elastic source.
-
-    :meth:`repro.net.node.Node.on_protocol` keeps a single handler per
-    protocol, so scenarios with several elastic flows route all acks
-    through this dispatcher, matched by flow id.
-    """
-
-    def __init__(self) -> None:
-        self.sources: dict[str, ElasticSource] = {}
-
-    def register(self, source: ElasticSource) -> None:
-        self.sources[source.flow_id] = source
-
-    def __call__(self, packet: Packet, link) -> None:
-        source = self.sources.get(packet.flow_id)
-        if source is not None:
-            source.acknowledge(packet.payload)
-
-
-@dataclass
-class _FlowPlan:
-    """A traffic flow scheduled to start after warmup."""
-
-    flow_id: str
-    kind: str
-    start: Callable[[float], TrafficSource]  # duration -> started source
-    sink: FlowSink
-
-
-@dataclass
-class BuiltScenario:
-    """A fully assembled world plus its planned traffic, pre-run."""
-
-    spec: ScenarioSpec
-    seed: int
-    world: MultiTierWorld
-    mobiles: list[MultiTierMobileNode]
-    controllers: list[MobilityController]
-    mobility_assignment: list[str]
-    traffic_assignment: list[str]
-    hotspot_indices: list[int]
-    flow_plans: list[_FlowPlan]
-    sources: list[TrafficSource] = field(default_factory=list)
-    sinks: list[FlowSink] = field(default_factory=list)
-
-    def execute(self) -> dict[str, float]:
-        """Run warmup → traffic window → drain; return scenario metrics."""
-        spec = self.spec
-        sim = self.world.sim
-        sim.run(until=spec.warmup)
-        for plan in self.flow_plans:
-            self.sources.append(plan.start(spec.duration))
-            self.sinks.append(plan.sink)
-        sim.run(until=spec.warmup + spec.duration + spec.drain)
-        return self._collect_metrics()
-
-    # ------------------------------------------------------------------
-    def _collect_metrics(self) -> dict[str, float]:
-        spec = self.spec
-        sent = sum(source.packets_sent for source in self.sources)
-        received = sum(sink.received for sink in self.sinks)
-        delays = [s.mean_delay() for s in self.sinks if s.received > 0]
-        jitters = [s.jitter() for s in self.sinks if s.received > 1]
-        gaps = [s.max_gap() for s in self.sinks if s.received > 1]
-        handoffs = sum(m.handoffs_completed for m in self.mobiles)
-        latencies = [
-            latency for m in self.mobiles for latency in m.handoff_latencies
-        ]
-        blocked = sum(c.blocked_attach_attempts for c in self.controllers)
-        attached = sum(1 for m in self.mobiles if m.serving_bs is not None)
-        cn = self.world.cn
-        routed = cn.sent_via_binding + cn.sent_via_home
-        elastic = [
-            (source, sink)
-            for source, sink, plan in zip(
-                self.sources, self.sinks, self.flow_plans
-            )
-            if plan.kind == "elastic-data"
-        ]
-        goodput = [
-            sink.bytes_received * 8.0 / spec.duration for _, sink in elastic
-        ]
-        # Metrics are plain floats and never NaN, so serial-vs-parallel
-        # byte-identity is checkable with ordinary equality.
-        metrics = {
-            "population": float(spec.population),
-            "flows": float(len(self.flow_plans)),
-            "sent": float(sent),
-            "received": float(received),
-            "loss_rate": (1.0 - received / sent) if sent else 0.0,
-            "mean_delay": (sum(delays) / len(delays)) if delays else 0.0,
-            "jitter": (sum(jitters) / len(jitters)) if jitters else 0.0,
-            "max_gap": max(gaps) if gaps else 0.0,
-            "handoffs": float(handoffs),
-            "handoff_latency": (
-                (sum(latencies) / len(latencies)) if latencies else 0.0
-            ),
-            "blocked_attaches": float(blocked),
-            "attached": float(attached),
-            "via_binding_fraction": (
-                cn.sent_via_binding / routed if routed else 0.0
-            ),
-            "elastic_goodput_bps": (
-                (sum(goodput) / len(goodput)) if goodput else 0.0
-            ),
-            "hop_total": float(sum(self.world.protocol_hop_totals().values())),
-        }
-        if self.world.channel_plan is not None:
-            # Contention mode only: adding keys to a legacy run would
-            # change its rendered table and break pre-channel
-            # byte-identity.
-            from repro.radio.channel import DOWNLINK, UPLINK
-
-            channels = [
-                bs.shared_channel
-                for bs in self.world.all_radio_stations()
-                if bs.shared_channel is not None
-            ]
-            window = spec.warmup + spec.duration + spec.drain
-            busiest = max(
-                (ch.stats.busy_seconds[DOWNLINK] for ch in channels),
-                default=0.0,
-            )
-            #: Downlink utilization of the most loaded cell (1 = the
-            #: air interface is the binding constraint there).
-            metrics["air_busiest_downlink"] = busiest / window
-            metrics["air_detach_drops"] = float(
-                sum(
-                    ch.stats.dropped_on_detach[DOWNLINK]
-                    + ch.stats.dropped_on_detach[UPLINK]
-                    for ch in channels
-                )
-            )
-        return metrics
-
-
-# ----------------------------------------------------------------------
-def _assignments(spec: ScenarioSpec, streams: RandomStreams):
-    """Per-mobile (mobility model, traffic kind, hotspot) assignment.
-
-    Counts come from the exact largest-remainder apportionment; the
-    pairing between the two lists is decorrelated by a seeded shuffle so
-    mixes cross (e.g. some vehicles stream video, some walkers are
-    idle) instead of aligning block-by-block.
-    """
-    mobility = [
-        name
-        for name, count in spec.mobility_counts().items()
-        for _ in range(count)
-    ]
-    traffic = [
-        kind
-        for kind, count in spec.traffic_counts().items()
-        for _ in range(count)
-    ]
-    shuffle_rng = streams.stream("assign.traffic")
-    order = list(shuffle_rng.permutation(spec.population))
-    traffic = [traffic[position] for position in order]
-    hotspot_rng = streams.stream("assign.hotspots")
-    hotspots = sorted(
-        int(i)
-        for i in hotspot_rng.permutation(spec.population)[: spec.hotspot_count()]
-    )
-    return mobility, traffic, hotspots
-
-
-def _downlink(world: MultiTierWorld, mobile: MultiTierMobileNode):
-    """A send callable streaming CN -> mobile with route optimization."""
-
-    def send(packet: Packet) -> bool:
-        return world.cn.send_to_mobile(
-            mobile.home_address,
-            size=packet.size,
-            flow_id=packet.flow_id,
-            seq=packet.seq,
-            created_at=packet.created_at,
-        )
-
-    return send
-
-
-def _plan_flow(
-    world: MultiTierWorld,
-    mobile: MultiTierMobileNode,
-    kind: str,
-    flow_id: str,
-    streams: RandomStreams,
-    ack_dispatcher: _ElasticAckDispatcher,
-) -> Optional[_FlowPlan]:
-    """Plan one downlink flow of ``kind`` towards ``mobile``."""
-    if kind == "idle":
-        return None
-    sim = world.sim
-    sink = FlowSink(flow_id=flow_id)
-    mobile.on_data.append(sink.bind(sim))
-    send = _downlink(world, mobile)
-    cn_address = world.cn.address
-    dst = mobile.home_address
-
-    def start(duration: float) -> TrafficSource:
-        if kind == "cbr-voice":
-            source = CBRSource(
-                sim, send, cn_address, dst,
-                rate_bps=64e3, packet_size=200,
-                duration=duration, flow_id=flow_id,
-            )
-        elif kind == "onoff-voice":
-            source = OnOffSource(
-                sim, send, cn_address, dst,
-                rng=streams.stream(f"{flow_id}.talkspurts"),
-                rate_bps=64e3, packet_size=200,
-                duration=duration, flow_id=flow_id,
-            )
-        elif kind == "vbr-video":
-            source = VBRVideoSource(
-                sim, send, cn_address, dst,
-                rng=streams.stream(f"{flow_id}.frames"),
-                mean_rate_bps=128e3, frame_rate=12.5, mtu=1000,
-                duration=duration, flow_id=flow_id,
-            )
-        elif kind == "poisson-data":
-            source = PoissonSource(
-                sim, send, cn_address, dst,
-                rng=streams.stream(f"{flow_id}.arrivals"),
-                mean_rate_pps=20.0, packet_size=500,
-                duration=duration, flow_id=flow_id,
-            )
-        elif kind == "elastic-data":
-            source = ElasticSource(
-                sim, send, cn_address, dst,
-                packet_size=1000, duration=duration, flow_id=flow_id,
-            )
-            ack_dispatcher.register(source)
-            mobile.on_data.append(
-                make_ack_hook(sim, mobile.originate, flow_id=flow_id)
-            )
-        else:  # pragma: no cover - spec validation rejects this earlier
-            raise ValueError(f"unknown traffic kind {kind!r}")
-        return source.start()
-
-    return _FlowPlan(flow_id=flow_id, kind=kind, start=start, sink=sink)
-
-
-def build_scenario(spec: ScenarioSpec, seed: int) -> BuiltScenario:
+def build_scenario(spec: ScenarioSpec, seed: int):
     """Assemble the world, population and traffic plan for one run.
 
     Parameters
     ----------
     spec:
-        The declarative workload (validated at construction).
+        The declarative workload (validated at construction); its
+        ``stack`` field names the registered adapter that builds the
+        world (``multitier`` | ``cellularip`` | ``mobileip`` | any
+        stack registered via
+        :func:`repro.stacks.registry.register_stack`).
     seed:
         Run seed; all randomness flows through
         :class:`~repro.sim.rng.RandomStreams` named per mobile index,
@@ -417,129 +51,22 @@ def build_scenario(spec: ScenarioSpec, seed: int) -> BuiltScenario:
 
     Returns
     -------
-    BuiltScenario
-        The assembled (not yet run) world; call
-        :meth:`BuiltScenario.execute` to run it.
+    StackRun
+        The assembled (not yet run) world — a
+        :class:`~repro.stacks.multitier.BuiltScenario` for the default
+        stack — with an ``execute()`` method returning the metric dict.
     """
-    streams = RandomStreams(int(seed))
-    channel_plan = None
-    if spec.channels_enabled():
-        # Contention mode: per-cell shared channels on every tier.  The
-        # micro tier (and any unset field) runs at its TIER_DEFAULTS
-        # budget; uplink budgets are half the downlink ones.
-        channel_plan = ChannelPlan(
-            macro_bandwidth=spec.macro_channel_bandwidth,
-            pico_bandwidth=spec.pico_channel_bandwidth,
-        )
-    world = MultiTierWorld(
-        second_domain=spec.domains == 2,
-        domain_kwargs=dict(spec.domain_overrides),
-        channel_plan=channel_plan,
-    )
-    roam = roam_rectangle(spec)
-    mobility_assignment, traffic_assignment, hotspot_indices = _assignments(
-        spec, streams
-    )
-    starts = _start_positions(spec, streams, roam)
-    # In-building picos (Fig 2.1's third hierarchy level).  Legacy mode
-    # keeps the historic placement: alternating fixed offsets under the
-    # micro leaves.  Contention mode deploys them at seeded population
-    # concentration points (see _pico_sites), so the pico overlay can
-    # actually absorb load — the paper's reason for its existence.
-    leaves = ("B", "C", "E", "F")
-    sites = (
-        _pico_sites(spec, starts, mobility_assignment, traffic_assignment)
-        if channel_plan is not None
-        else None
-    )
-    for pico in range(spec.pico_cells):
-        if sites is None:
-            parent = world.domain1[leaves[pico % len(leaves)]]
-            side = 1 if (pico // len(leaves)) % 2 == 0 else -1
-            center = Point(
-                parent.cell.center.x + side * 150.0, parent.cell.center.y
-            )
-        else:
-            center = sites[pico]
-            parent = min(
-                (world.domain1[name] for name in leaves),
-                key=lambda bs: bs.cell.center.distance_to(center),
-            )
-        world.add_pico(parent.name, f"p{pico}", center)
-
-    ack_dispatcher = _ElasticAckDispatcher()
-    world.cn.on_protocol("ack", ack_dispatcher)
-
-    # Under a shared air interface any slow, traffic-bearing mobile
-    # benefits from a covering pico's fat shared budget, so the tier
-    # policy's pico preference applies to every positive demand (with
-    # per-user dedicated radios only heavy elastic users did).
-    contention_policy = (
-        TierSelectionPolicy(demand_threshold=1.0)
-        if channel_plan is not None
-        else None
-    )
-    mobiles: list[MultiTierMobileNode] = []
-    controllers: list[MobilityController] = []
-    flow_plans: list[_FlowPlan] = []
-    for index in range(spec.population):
-        kind = traffic_assignment[index]
-        mobile = world.add_mobile(
-            f"mn{index}",
-            bandwidth_demand=_BANDWIDTH_DEMAND[kind],
-            airtime_key=index,
-        )
-        model = _make_mobility(
-            mobility_assignment[index], index, streams, roam, starts[index]
-        )
-        controllers.append(
-            world.add_controller(
-                mobile,
-                model,
-                sample_period=spec.sample_period,
-                policy=contention_policy,
-            )
-        )
-        mobiles.append(mobile)
-        plan = _plan_flow(
-            world, mobile, kind, f"{spec.name}.mn{index}", streams, ack_dispatcher
-        )
-        if plan is not None:
-            flow_plans.append(plan)
-    # Flash-crowd hotspots: extra simultaneous correspondent flows.
-    for index in hotspot_indices:
-        for flow in range(spec.hotspot_flows):
-            plan = _plan_flow(
-                world,
-                mobiles[index],
-                "poisson-data",
-                f"{spec.name}.mn{index}.hot{flow}",
-                streams,
-                ack_dispatcher,
-            )
-            flow_plans.append(plan)
-
-    return BuiltScenario(
-        spec=spec,
-        seed=int(seed),
-        world=world,
-        mobiles=mobiles,
-        controllers=controllers,
-        mobility_assignment=mobility_assignment,
-        traffic_assignment=traffic_assignment,
-        hotspot_indices=hotspot_indices,
-        flow_plans=flow_plans,
-    )
+    return get_stack(spec.stack).build(spec, seed)
 
 
 def run_scenario_spec(spec: ScenarioSpec, seed: int) -> dict[str, float]:
     """Build and execute one ``(spec, seed)`` run — the backend job.
 
-    Returns the plain-float metric dict from
-    :meth:`BuiltScenario.execute` (never NaN), which is what the
-    execution backends require for their ordered-deterministic
-    aggregation guarantee: the same ``(spec, seed)`` pair returns
-    byte-identical metrics in any process, on any backend.
+    Returns the plain-float metric dict from the stack run's
+    ``execute()`` (never NaN), which is what the execution backends
+    require for their ordered-deterministic aggregation guarantee: the
+    same ``(spec, seed)`` pair returns byte-identical metrics in any
+    process, on any backend.
     """
     return build_scenario(spec, seed).execute()
 

@@ -108,6 +108,7 @@ def replicate_scenarios(
     seeds: Optional[Iterable[int]] = None,
     confidence: float = 0.95,
     backend: Optional[ExecutionBackend] = None,
+    stack: Optional[str] = None,
 ) -> list[tuple[ScenarioSpec, list[int], Replication]]:
     """Replicate several scenarios as ONE backend batch.
 
@@ -115,13 +116,18 @@ def replicate_scenarios(
     backend's work-stealing queue balance heterogeneous scenarios — a
     ``mega`` seed next to a ``sparse-rural`` one — instead of the
     per-scenario seed lists (often a single seed) capping parallelism.
-    ``seeds=None`` uses each spec's own default list.  Results come
-    back in job order and are chunked per scenario, so the output is
-    identical to calling :func:`replicate_scenario` one name at a time.
+    ``seeds=None`` uses each spec's own default list.  ``stack``
+    rebinds every spec onto one protocol stack (``None`` keeps each
+    spec's own ``stack`` field; an unknown name fails eagerly via spec
+    validation, listing the registered stacks).  Results come back in
+    job order and are chunked per scenario, so the output is identical
+    to calling :func:`replicate_scenario` one name at a time.
     """
     if backend is None:
         backend = get_default_backend()
     specs = [_resolve(scenario) for scenario in scenarios]
+    if stack is not None:
+        specs = [spec.replace(stack=stack) for spec in specs]
     # Materialize once: a one-shot iterator must not be drained by the
     # first scenario and leave the rest with empty seed lists.
     shared_seeds = list(seeds) if seeds is not None else None
@@ -185,6 +191,16 @@ def describe_scenario(scenario: Union[str, ScenarioSpec]) -> str:
             f"{key}={value!r}" for key, value in spec.domain_overrides.items()
         )
         lines.append(f"  domain overrides {overrides}")
+    # Protocol stacks: every registered adapter can run any catalog
+    # scenario; list which adapter surface this spec exercises under
+    # each, so `--stack <name|all>` choices are discoverable here.
+    from repro.stacks.registry import iter_stacks
+
+    lines.append("  stacks (select with --stack <name|all>):")
+    for adapter in iter_stacks():
+        marker = " [spec default]" if adapter.name == spec.stack else ""
+        lines.append(f"    {adapter.name}{marker}: {adapter.description}")
+        lines.append(f"      exercises: {'; '.join(adapter.exercised(spec))}")
     # Show the apportionment actually used (post largest-remainder),
     # not the raw spec fractions: for small populations they differ,
     # and the builder instantiates the counts, never the fractions.
@@ -217,17 +233,25 @@ def format_scenario_result(
     """Render one replicated scenario run as a metric table."""
     from repro.metrics.tables import format_table
 
+    from repro.stacks.registry import DEFAULT_STACK
+
     spec = _resolve(scenario)
     seeds = list(seeds)
     rows = [
         [name, estimate.mean, estimate.half_width]
         for name, estimate in replication.metrics.items()
     ]
+    # Non-default stacks are named in the title; the default stays
+    # un-suffixed so legacy output (and `--stack multitier`) is
+    # byte-identical to pre-stacks rendering.
+    stack_label = (
+        f" [stack={spec.stack}]" if spec.stack != DEFAULT_STACK else ""
+    )
     return format_table(
         ["metric", "mean", "ci95_half_width"],
         rows,
         title=(
-            f"scenario {spec.name} "
+            f"scenario {spec.name}{stack_label} "
             f"({len(seeds)} seed{'s' if len(seeds) != 1 else ''}: "
             f"{', '.join(str(s) for s in seeds)})"
         ),

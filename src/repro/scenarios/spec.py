@@ -138,7 +138,16 @@ class ScenarioSpec:
     domain_overrides:
         Keyword overrides forwarded to every
         :class:`~repro.multitier.domain.MultiTierDomain` (e.g.
-        ``{"wired_bandwidth": 6e6}`` to choke the backhaul).
+        ``{"wired_bandwidth": 6e6}`` to choke the backhaul).  Baseline
+        stacks map the keys they share (wired/wireless link knobs) and
+        ignore the multi-tier-specific rest.
+    stack:
+        The protocol stack the scenario runs under: the name of a
+        registered :class:`~repro.stacks.base.StackAdapter`
+        (``"multitier"``, the default and byte-identity-pinned legacy
+        path; ``"cellularip"``; ``"mobileip"``).  Validated against the
+        registry at construction, so a typo fails eagerly with the
+        registered names listed.
     notes:
         Free text shown by ``repro scenario describe``.
     """
@@ -161,6 +170,7 @@ class ScenarioSpec:
     warmup: float = 2.0
     drain: float = 3.0
     domain_overrides: Mapping[str, object] = field(default_factory=dict)
+    stack: str = "multitier"
     notes: str = ""
 
     def __post_init__(self) -> None:
@@ -203,6 +213,21 @@ class ScenarioSpec:
         _validate_mix(
             f"{self.name}: traffic_mix", self.traffic_mix, TRAFFIC_KINDS
         )
+        if not isinstance(self.stack, str) or not self.stack:
+            raise ValueError(
+                f"{self.name}: stack must be a non-empty string, "
+                f"got {self.stack!r}"
+            )
+        # Late import: the stack adapters themselves import this module
+        # (no spec is ever instantiated during that import, so the
+        # registry is always populated by the time validation runs).
+        from repro.stacks.registry import is_registered, stack_names
+
+        if not is_registered(self.stack):
+            raise ValueError(
+                f"{self.name}: unknown stack {self.stack!r}; "
+                f"registered: {', '.join(stack_names())}"
+            )
 
     # ------------------------------------------------------------------
     def mobility_counts(self) -> dict[str, int]:

@@ -32,7 +32,7 @@ import dataclasses
 import inspect
 from dataclasses import dataclass
 from functools import partial
-from typing import Iterable, Optional, Union
+from typing import Iterable, Optional, Sequence, Union
 
 from repro.experiments.exec import ExecutionBackend, get_default_backend
 from repro.experiments.runner import (
@@ -336,8 +336,16 @@ def _resolve(sweep: Union[str, ScenarioSweep]) -> ScenarioSweep:
 # Execution
 # ----------------------------------------------------------------------
 def _sweep_title(resolved: ScenarioSweep, base: ScenarioSpec) -> str:
-    """The result title shared by single- and multi-sweep execution."""
+    """The result title shared by single- and multi-sweep execution.
+
+    Non-default protocol stacks are named in the title; the default
+    stays un-suffixed so legacy sweep output is byte-identical.
+    """
+    from repro.stacks.registry import DEFAULT_STACK
+
     title = f"sweep {resolved.name}: {base.name} vs {resolved.axis_label()}"
+    if base.stack != DEFAULT_STACK:
+        title += f" [stack={base.stack}]"
     if resolved.description:
         title += f" — {resolved.description}"
     return title
@@ -348,19 +356,24 @@ def effective_sweep(
     base: Optional[ScenarioSpec] = None,
     seeds: Optional[Iterable[int]] = None,
     smoke: bool = False,
+    stack: Optional[str] = None,
 ) -> tuple[ScenarioSweep, ScenarioSpec, list[int]]:
     """Resolve what a sweep run will actually execute.
 
     Returns ``(sweep, base spec, seed list)`` after applying the same
-    name resolution, ``base=`` override, smoke shrinking and seed
-    defaulting that :func:`sweep_scenario` performs — it calls this
-    helper itself, so labels rendered from the return value (e.g. the
-    CLI's "N seeds/point" header) can never diverge from the grid that
-    ran.  Deterministic: pure resolution, no randomness.
+    name resolution, ``base=`` override, ``stack=`` rebinding, smoke
+    shrinking and seed defaulting that :func:`sweep_scenario` performs
+    — it calls this helper itself, so labels rendered from the return
+    value (e.g. the CLI's "N seeds/point" header) can never diverge
+    from the grid that ran.  ``stack=None`` keeps the base spec's own
+    protocol stack; an unknown name fails eagerly via spec validation.
+    Deterministic: pure resolution, no randomness.
     """
     resolved = _resolve(sweep)
     if base is None:
         base = get_scenario(resolved.scenario)
+    if stack is not None:
+        base = base.replace(stack=stack)
     if smoke:
         base = base.smoke()
         resolved = resolved.smoke(base)
@@ -378,6 +391,7 @@ def sweep_scenario(
     confidence: float = 0.95,
     backend: Optional[ExecutionBackend] = None,
     smoke: bool = False,
+    stack: Optional[str] = None,
 ) -> ExperimentResult:
     """Run one scenario sweep and return its :class:`ExperimentResult`.
 
@@ -400,6 +414,10 @@ def sweep_scenario(
         Run the shrunken CI variant: :meth:`ScenarioSweep.smoke` axis
         (first two points, one seed) over :meth:`ScenarioSpec.smoke`
         of the base spec.
+    stack:
+        Rebind the base spec onto one registered protocol stack
+        (``None`` keeps the spec's own ``stack`` field); non-default
+        stacks are named in the result title.
 
     The whole (point, seed) grid — row-major, seeds fastest — is
     submitted as ONE :meth:`ExecutionBackend.run` batch through
@@ -412,7 +430,7 @@ def sweep_scenario(
     Determinism: output is identical for every backend and job count,
     and across repeats, for the same (sweep, base, seeds).
     """
-    resolved, base, seed_list = effective_sweep(sweep, base, seeds, smoke)
+    resolved, base, seed_list = effective_sweep(sweep, base, seeds, smoke, stack)
     specs = resolved.derived_specs(base)
     spec_by_value = dict(zip(resolved.values, specs))
 
@@ -437,7 +455,8 @@ def sweep_scenarios(
     confidence: float = 0.95,
     backend: Optional[ExecutionBackend] = None,
     smoke: bool = False,
-) -> list[tuple[ScenarioSweep, list[int], ExperimentResult]]:
+    stacks: Optional[Sequence[Optional[str]]] = None,
+) -> list[tuple[ScenarioSweep, ScenarioSpec, list[int], ExperimentResult]]:
     """Run several sweeps as ONE backend batch (the union of grids).
 
     ``repro scenario sweep all --jobs N`` used to batch per sweep,
@@ -448,33 +467,46 @@ def sweep_scenarios(
     overlaps small sweeps with big ones.
 
     ``seeds`` / ``smoke`` apply to every sweep exactly as in
-    :func:`sweep_scenario`.  Results come back in job order and are
-    chunked per (sweep, point), so each returned
-    ``(sweep, seed list, result)`` triple is byte-identical to calling
-    :func:`sweep_scenario` one sweep at a time — on any backend, for
-    any job count (determinism inherited from the PR 1 ordered
-    aggregation guarantee).
+    :func:`sweep_scenario`.  ``stacks`` crosses every sweep with each
+    named protocol stack (in order) inside the same single batch —
+    ``stacks=None`` keeps each base spec's own stack, so legacy calls
+    are unchanged; the returned list is ordered sweep-major, stack
+    fastest.  Results come back in job order and are chunked per
+    (sweep, stack, point); each returned
+    ``(sweep, base spec, seed list, result)`` entry carries the
+    rebound base spec that actually ran (``base.stack`` names its
+    protocol stack — callers never have to reconstruct the grid order
+    themselves), and is byte-identical to calling
+    :func:`sweep_scenario` one (sweep, stack) at a time — on any
+    backend, for any job count (determinism inherited from the PR 1
+    ordered aggregation guarantee).
     """
     if backend is None:
         backend = get_default_backend()
     materialized = [int(seed) for seed in seeds] if seeds is not None else None
+    stack_list: list[Optional[str]] = (
+        list(stacks) if stacks is not None else [None]
+    )
+    if not stack_list:
+        raise ValueError("stacks must not be empty")
     layout: list[tuple[ScenarioSweep, ScenarioSpec, list[int], list[ScenarioSpec]]] = []
     jobs = []
     for entry in sweeps:
-        resolved, base, seed_list = effective_sweep(
-            entry, seeds=materialized, smoke=smoke
-        )
-        specs = resolved.derived_specs(base)
-        jobs.extend(
-            partial(run_scenario_spec, spec, seed)
-            for spec in specs
-            for seed in seed_list
-        )
-        layout.append((resolved, base, seed_list, specs))
+        for stack in stack_list:
+            resolved, base, seed_list = effective_sweep(
+                entry, seeds=materialized, smoke=smoke, stack=stack
+            )
+            specs = resolved.derived_specs(base)
+            jobs.extend(
+                partial(run_scenario_spec, spec, seed)
+                for spec in specs
+                for seed in seed_list
+            )
+            layout.append((resolved, base, seed_list, specs))
 
     results = backend.run(jobs)
 
-    out: list[tuple[ScenarioSweep, list[int], ExperimentResult]] = []
+    out: list[tuple[ScenarioSweep, ScenarioSpec, list[int], ExperimentResult]] = []
     offset = 0
     for resolved, base, seed_list, specs in layout:
         replications = []
@@ -492,7 +524,7 @@ def sweep_scenarios(
             notes=resolved.notes,
             confidence=confidence,
         )
-        out.append((resolved, seed_list, result))
+        out.append((resolved, base, seed_list, result))
     return out
 
 

@@ -1,0 +1,82 @@
+"""Pluggable protocol-stack backends for the scenario engine.
+
+The paper's central claim is comparative — multi-tier mobility
+management beats flat Mobile IP and Cellular IP for multimedia traffic
+— so every catalog scenario can run under any registered *stack
+adapter*: an object that builds a world from a
+``(ScenarioSpec, seed)`` pair, attaches mobility control, wires the
+shared traffic plan and collects a common metric dict (see
+:mod:`repro.stacks.base` for the contract and ``docs/STACKS.md`` for
+the guide).
+
+Shipped stacks (registered on import, in this order):
+
+* ``multitier`` — the paper's architecture (the default; byte-identical
+  to the pre-stacks builder);
+* ``cellularip`` — flat Cellular IP with semisoft handoff;
+* ``mobileip`` — flat Mobile IP, one FA per cell, full home
+  registration per move.
+
+All three instantiate the *same* seeded population and traffic plan
+(:mod:`repro.stacks.population`), which is what makes
+``repro scenario run <name> --stack all`` an apples-to-apples,
+Table-1-style protocol comparison at catalog scale.
+
+Determinism: adapters draw all randomness from the run seed through
+named streams; one ``(stack, spec, seed)`` triple returns
+byte-identical metrics on any execution backend.
+"""
+
+from repro.stacks.base import (
+    COMMON_METRICS,
+    StackAdapter,
+    StackRun,
+    air_metrics,
+    flow_metrics,
+)
+from repro.stacks.registry import (
+    DEFAULT_STACK,
+    get_stack,
+    is_registered,
+    iter_stacks,
+    register_stack,
+    stack_names,
+)
+from repro.stacks.multitier import (
+    BuiltScenario,
+    MultiTierStack,
+    build_multitier_scenario,
+)
+from repro.stacks.cellularip import (
+    BuiltCIPScenario,
+    CellularIPStack,
+    build_cip_scenario,
+)
+from repro.stacks.mobileip import (
+    BuiltMIPScenario,
+    MobileIPStack,
+    build_mip_scenario,
+)
+
+__all__ = [
+    "COMMON_METRICS",
+    "DEFAULT_STACK",
+    "BuiltCIPScenario",
+    "BuiltMIPScenario",
+    "BuiltScenario",
+    "CellularIPStack",
+    "MobileIPStack",
+    "MultiTierStack",
+    "StackAdapter",
+    "StackRun",
+    "air_metrics",
+    "build_cip_scenario",
+    "build_mip_scenario",
+    "build_multitier_scenario",
+    "flow_metrics",
+    "get_stack",
+    "is_registered",
+    "iter_stacks",
+    "register_stack",
+    "stack_names",
+]

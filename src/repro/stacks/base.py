@@ -1,0 +1,215 @@
+"""The stack-adapter contract: one protocol stack behind one scenario.
+
+A :class:`StackAdapter` turns a ``(ScenarioSpec, seed)`` pair into a
+ready-to-run world under one mobility-management protocol stack —
+the paper's multi-tier architecture, flat Cellular IP, or flat Mobile
+IP — wiring the *same* population and traffic plan (see
+:mod:`repro.stacks.population`) over stack-specific machinery.  The
+returned :class:`StackRun` executes warmup → traffic → drain and
+collects a metric dict.
+
+Metric contract
+---------------
+* Every stack emits :data:`COMMON_METRICS` (plain, never-NaN floats) —
+  the keys the cross-stack comparison table aligns on.
+* Stack-specific extras are namespaced ``<prefix>.<key>`` (e.g.
+  ``cip.route_updates``, ``mip.tunneled``) per the adapter's
+  :attr:`~StackAdapter.metric_namespace`.  The multi-tier adapter's
+  historical extras (``blocked_attaches``, ``via_binding_fraction``)
+  predate the namespace convention and are grandfathered un-prefixed:
+  they are pinned byte-for-byte by the committed golden tables.
+* Contention-mode runs additionally emit ``air_busiest_downlink`` /
+  ``air_detach_drops`` (never in legacy mode — legacy tables must not
+  grow keys).
+
+Determinism: adapters draw all randomness from the run seed through
+named :class:`~repro.sim.rng.RandomStreams`, so one
+``(stack, spec, seed)`` triple returns byte-identical metrics in any
+process, on any execution backend — the property the cross-stack
+comparison table and CI parity gates rely on.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Protocol
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.scenarios.spec import ScenarioSpec
+    from repro.stacks.population import FlowPlan
+    from repro.traffic import FlowSink, TrafficSource
+
+#: Metric keys every stack adapter emits, in canonical order — the
+#: rows of the cross-stack comparison table.
+COMMON_METRICS: tuple[str, ...] = (
+    "population",
+    "flows",
+    "sent",
+    "received",
+    "loss_rate",
+    "mean_delay",
+    "jitter",
+    "max_gap",
+    "handoffs",
+    "handoff_latency",
+    "attached",
+    "elastic_goodput_bps",
+    "hop_total",
+)
+
+
+class StackRun(Protocol):
+    """What :meth:`StackAdapter.build` returns: a runnable world."""
+
+    def execute(self) -> dict[str, float]:
+        """Run warmup → traffic window → drain; return the metric dict."""
+        ...  # pragma: no cover - protocol signature only
+
+
+def run_measurement_phases(sim, spec, flow_plans, sources, sinks, collect):
+    """The run protocol every stack shares: warmup → traffic → drain.
+
+    Simulates ``spec.warmup`` seconds, starts every planned flow
+    (appending the started sources and their sinks to the run's lists),
+    simulates the traffic window plus ``spec.drain``, then returns
+    ``collect()`` — the stack's own metric collection.  One definition
+    so no stack can drift onto a different measurement window and skew
+    the side-by-side comparison.  Deterministic: pure simulation drive.
+    """
+    sim.run(until=spec.warmup)
+    for plan in flow_plans:
+        sources.append(plan.start(spec.duration))
+        sinks.append(plan.sink)
+    sim.run(until=spec.warmup + spec.duration + spec.drain)
+    return collect()
+
+
+def flow_metrics(
+    spec: "ScenarioSpec",
+    sources: list["TrafficSource"],
+    sinks: list["FlowSink"],
+    flow_plans: list["FlowPlan"],
+) -> dict[str, float]:
+    """The traffic-plane slice of :data:`COMMON_METRICS`.
+
+    Shared by the Cellular IP and Mobile IP adapters (the multi-tier
+    adapter keeps its historical, golden-pinned collection code).
+    Computes sent/received/loss, delay/jitter/gap and elastic goodput
+    from the per-flow sources and sinks with the same formulas the
+    multi-tier stack uses, so cross-stack columns are comparable.
+    Deterministic: pure arithmetic over the run's counters; all values
+    are plain floats and never NaN.
+    """
+    sent = sum(source.packets_sent for source in sources)
+    received = sum(sink.received for sink in sinks)
+    delays = [s.mean_delay() for s in sinks if s.received > 0]
+    jitters = [s.jitter() for s in sinks if s.received > 1]
+    gaps = [s.max_gap() for s in sinks if s.received > 1]
+    elastic = [
+        (source, sink)
+        for source, sink, plan in zip(sources, sinks, flow_plans)
+        if plan.kind == "elastic-data"
+    ]
+    goodput = [
+        sink.bytes_received * 8.0 / spec.duration for _, sink in elastic
+    ]
+    return {
+        "population": float(spec.population),
+        "flows": float(len(flow_plans)),
+        "sent": float(sent),
+        "received": float(received),
+        "loss_rate": (1.0 - received / sent) if sent else 0.0,
+        "mean_delay": (sum(delays) / len(delays)) if delays else 0.0,
+        "jitter": (sum(jitters) / len(jitters)) if jitters else 0.0,
+        "max_gap": max(gaps) if gaps else 0.0,
+        "elastic_goodput_bps": (
+            (sum(goodput) / len(goodput)) if goodput else 0.0
+        ),
+    }
+
+
+def air_metrics(channels: list, window: float) -> dict[str, float]:
+    """Contention-mode air-interface extras over ``channels``.
+
+    Emitted only when the spec enables shared channels (legacy tables
+    must not grow keys).  Mirrors the multi-tier adapter's definitions:
+    the downlink utilization of the busiest cell (over the ``window``
+    seconds simulated) and the total airtime cancelled by claim
+    detaches.  Deterministic counter arithmetic.
+    """
+    from repro.radio.channel import DOWNLINK, UPLINK
+
+    live = [channel for channel in channels if channel is not None]
+    busiest = max(
+        (channel.stats.busy_seconds[DOWNLINK] for channel in live), default=0.0
+    )
+    return {
+        "air_busiest_downlink": busiest / window,
+        "air_detach_drops": float(
+            sum(
+                channel.stats.dropped_on_detach[DOWNLINK]
+                + channel.stats.dropped_on_detach[UPLINK]
+                for channel in live
+            )
+        ),
+    }
+
+
+class StackAdapter(abc.ABC):
+    """One pluggable protocol stack the scenario engine can drive.
+
+    Subclasses implement :meth:`build`; everything else — the registry,
+    the CLI ``--stack`` flag, :func:`repro.scenarios.compare` — works
+    against this interface, so registering a fourth stack is one class
+    plus one :func:`repro.stacks.registry.register_stack` call (see
+    ``docs/STACKS.md``).
+    """
+
+    #: Registry key (the value of ``ScenarioSpec.stack``).
+    name: str = ""
+    #: One line shown by ``repro scenario describe``.
+    description: str = ""
+    #: Prefix of this stack's namespaced metric extras ("" = none).
+    metric_namespace: str = ""
+
+    @abc.abstractmethod
+    def build(self, spec: "ScenarioSpec", seed: int) -> StackRun:
+        """Assemble the (not yet run) world for one ``(spec, seed)``.
+
+        Must instantiate the shared population plan from
+        :mod:`repro.stacks.population` so trajectories and offered
+        traffic match the other stacks for the same seed.
+        """
+
+    def run(self, spec: "ScenarioSpec", seed: int) -> dict[str, float]:
+        """Build and execute one run — the execution-backend job body."""
+        return self.build(spec, seed).execute()
+
+    def exercised(self, spec: "ScenarioSpec") -> list[str]:
+        """The adapter features ``spec`` exercises, for ``describe``.
+
+        The base implementation reports the stack-independent spec
+        surface (population/traffic plan, hotspots, shared air
+        interface); adapters append their stack-specific fields.
+        """
+        features = ["mobility+traffic mix (shared population plan)"]
+        if spec.hotspot_fraction > 0:
+            features.append(
+                f"hotspot correspondent flows ({spec.hotspot_count()} x "
+                f"{spec.hotspot_flows})"
+            )
+        if "elastic-data" in spec.traffic_mix:
+            features.append("elastic ack uplink")
+        if spec.channels_enabled():
+            features.append("shared air-interface contention")
+        return features
+
+
+__all__ = [
+    "COMMON_METRICS",
+    "StackAdapter",
+    "StackRun",
+    "air_metrics",
+    "flow_metrics",
+    "run_measurement_phases",
+]

@@ -1,0 +1,357 @@
+"""The flat Cellular IP baseline stack adapter.
+
+One gateway-rooted access tree covers the whole multi-tier geometry
+(macro, micro and pico sites from
+:func:`~repro.stacks.flat.flat_cell_layout`), managed by soft-state
+routing caches: uplink packets refresh per-hop mappings, downlink
+packets follow them, and handoff is a route-update through the new
+base station (semisoft by default — the stronger CIP variant, with the
+dual-path interval and duplicate suppression the repo's CIP substrate
+already models).  There is no tier policy and no route optimization:
+this is the micro-mobility baseline the paper's architecture is
+compared against.
+
+Shared-channel mode: when the spec enables contention, every base
+station gets a per-tier :class:`~repro.radio.channel.SharedChannel`
+(same :class:`~repro.radio.channel.ChannelPlan` budgets as the
+multi-tier stack), and the semisoft dual-path interval briefly holds
+airtime claims on both cells — apples-to-apples with the other stacks'
+air interface.
+
+Determinism: the same population plan and stream names as every stack
+(:mod:`repro.stacks.population`); controllers decide from seeded
+models and pure signal surveys.  One ``(spec, seed)`` pair returns
+byte-identical metrics on any execution backend.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.cellularip import CIPBaseStation, CIPDomain, CIPGateway, CIPMobileHost
+from repro.net.addressing import AddressAllocator
+from repro.net.packet import Packet
+from repro.net.topology import Network
+from repro.radio.cells import Cell
+from repro.radio.channel import ChannelPlan
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RandomStreams
+from repro.stacks.base import (
+    StackAdapter,
+    air_metrics,
+    flow_metrics,
+    run_measurement_phases,
+)
+from repro.stacks.flat import FlatMobilityController, flat_cell_layout
+from repro.stacks.population import (
+    ElasticAckDispatcher,
+    FlowPlan,
+    assignments,
+    make_mobility,
+    plan_flow,
+    roam_rectangle,
+    start_positions,
+)
+from repro.stacks.registry import register_stack
+from repro.traffic import FlowSink, TrafficSource
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only (import cycle)
+    from repro.scenarios.spec import ScenarioSpec
+
+#: Prefix the Cellular IP mobiles' addresses are drawn from; the
+#: Internet routes it wholesale to the gateway.
+MOBILE_PREFIX = "10.200.0.0/16"
+
+#: ``ScenarioSpec.domain_overrides`` keys that translate directly onto
+#: :class:`~repro.cellularip.base_station.CIPDomain` parameters (the
+#: shared wired/wireless link knobs); others are multi-tier-specific
+#: and ignored here.
+_CIP_DOMAIN_PARAMS = set(
+    inspect.signature(CIPDomain.__init__).parameters
+) - {"self", "sim", "channel_bandwidth"}
+
+
+class _CIPController(FlatMobilityController):
+    """Strongest-signal controller executing Cellular IP handoffs."""
+
+    def __init__(self, sim, model, host, stations_by_cell, semisoft, **kwargs):
+        self.host = host
+        self.stations_by_cell = stations_by_cell
+        self.semisoft = semisoft
+        super().__init__(sim, model, **kwargs)
+
+    def _attach(self, cell: Cell):
+        """Initial attachment: associate and announce the route."""
+        self.host.attach_to(self.stations_by_cell[cell.name])
+        return
+        yield  # pragma: no cover - generator protocol
+
+    def _handoff(self, old: Cell, new: Cell):
+        """Execute a CIP handoff (semisoft blocks for the dual-path
+        interval; hard is instantaneous break-then-make)."""
+        station = self.stations_by_cell[new.name]
+        if self.semisoft:
+            yield from self.host.handoff_semisoft(station)
+        else:
+            self.host.handoff_hard(station)
+
+
+@dataclass
+class BuiltCIPScenario:
+    """A fully assembled Cellular IP world plus its planned traffic."""
+
+    spec: ScenarioSpec
+    seed: int
+    sim: Simulator
+    network: Network
+    domain: CIPDomain
+    hosts: list[CIPMobileHost]
+    controllers: list[_CIPController]
+    flow_plans: list[FlowPlan]
+    channel_plan: Optional[ChannelPlan]
+    sources: list[TrafficSource] = field(default_factory=list)
+    sinks: list[FlowSink] = field(default_factory=list)
+
+    def execute(self) -> dict[str, float]:
+        """Run warmup → traffic window → drain; return the metric dict."""
+        return run_measurement_phases(
+            self.sim,
+            self.spec,
+            self.flow_plans,
+            self.sources,
+            self.sinks,
+            self._collect_metrics,
+        )
+
+    # ------------------------------------------------------------------
+    def _collect_metrics(self) -> dict[str, float]:
+        spec = self.spec
+        metrics = flow_metrics(spec, self.sources, self.sinks, self.flow_plans)
+        latencies = [
+            latency
+            for controller in self.controllers
+            for latency in controller.handoff_latencies
+        ]
+        metrics.update({
+            "handoffs": float(
+                sum(host.handoffs_completed for host in self.hosts)
+            ),
+            "handoff_latency": (
+                (sum(latencies) / len(latencies)) if latencies else 0.0
+            ),
+            "attached": float(
+                sum(1 for host in self.hosts if host.serving_bs is not None)
+            ),
+            "hop_total": float(
+                sum(self.network.protocol_hop_totals().values())
+            ),
+            # Namespaced Cellular IP extras (metric contract: base.py).
+            "cip.route_updates": float(
+                sum(host.route_updates_sent for host in self.hosts)
+            ),
+            "cip.paging_updates": float(
+                sum(host.paging_updates_sent for host in self.hosts)
+            ),
+            "cip.duplicates": float(
+                sum(host.duplicates_discarded for host in self.hosts)
+            ),
+            "cip.control_packets": float(self.domain.total_control_packets()),
+            "cip.downlink_drops": float(self.domain.total_downlink_drops()),
+            "cip.paging_broadcasts": float(
+                sum(bs.paging_broadcasts for bs in self.domain.base_stations)
+            ),
+        })
+        if self.channel_plan is not None:
+            metrics.update(air_metrics(
+                [bs.shared_channel for bs in self.domain.base_stations],
+                spec.warmup + spec.duration + spec.drain,
+            ))
+        return metrics
+
+
+def build_cip_scenario(
+    spec: ScenarioSpec, seed: int, semisoft: bool = True
+) -> BuiltCIPScenario:
+    """Assemble the flat Cellular IP world for one ``(spec, seed)``.
+
+    The access tree mirrors the multi-tier wired hierarchy — gateway
+    over macro-site relays over micro leaves over picos — with
+    ``spec.domain_overrides`` link knobs applied where CIP has the same
+    parameter.  Population, trajectories and traffic come from the
+    shared plan, so the run is directly comparable to the other stacks
+    at the same seed.  Deterministic: seeded streams only.
+    """
+    streams = RandomStreams(int(seed))
+    sim = Simulator()
+    roam = roam_rectangle(spec)
+    mobility_assignment, traffic_assignment, hotspot_indices = assignments(
+        spec, streams
+    )
+    starts = start_positions(spec, streams, roam)
+
+    overrides = {
+        key: value
+        for key, value in spec.domain_overrides.items()
+        if key in _CIP_DOMAIN_PARAMS
+    }
+    domain = CIPDomain(sim, **overrides)
+    network = Network(sim, prefix="10.0.0.0/8")
+    gateway = CIPGateway(
+        sim, "gw", network.allocator.allocate(), domain,
+        mobile_prefix=MOBILE_PREFIX,
+    )
+    network.add(gateway)
+
+    channel_plan = (
+        ChannelPlan(
+            macro_bandwidth=spec.macro_channel_bandwidth,
+            pico_bandwidth=spec.pico_channel_bandwidth,
+        )
+        if spec.channels_enabled()
+        else None
+    )
+    layout = flat_cell_layout(
+        spec, starts, mobility_assignment, traffic_assignment
+    )
+    stations: dict[str, CIPBaseStation] = {}
+    stations_by_cell: dict[str, CIPBaseStation] = {}
+    cells: list[Cell] = []
+    for site in layout:
+        station = CIPBaseStation(
+            sim, site.name, network.allocator.allocate(), domain
+        )
+        network.add(station)
+        parent = stations[site.parent] if site.parent else gateway
+        domain.link(parent, station)
+        cell = site.cell()
+        if channel_plan is not None:
+            station.shared_channel = channel_plan.channel_for(sim, cell)
+        stations[site.name] = station
+        stations_by_cell[cell.name] = station
+        cells.append(cell)
+
+    internet = network.router("internet")
+    cn = network.host("cn")
+    network.connect(cn, internet, delay=0.005)
+    gateway.connect_internet(internet, delay=0.005)
+    internet.add_route(MOBILE_PREFIX, gateway)
+    internet.add_host_route(cn.address, cn)
+
+    ack_dispatcher = ElasticAckDispatcher()
+    cn.on_protocol("ack", ack_dispatcher)
+
+    def downlink(packet: Packet) -> bool:
+        return cn.send_via(internet, packet)
+
+    mobile_allocator = AddressAllocator(MOBILE_PREFIX)
+    hosts: list[CIPMobileHost] = []
+    controllers: list[_CIPController] = []
+    flow_plans: list[FlowPlan] = []
+    for index in range(spec.population):
+        kind = traffic_assignment[index]
+        host = CIPMobileHost(
+            sim,
+            f"mn{index}",
+            mobile_allocator.allocate(),
+            domain,
+            airtime_key=index,
+        )
+        model = make_mobility(
+            mobility_assignment[index], index, streams, roam, starts[index]
+        )
+        controllers.append(_CIPController(
+            sim,
+            model,
+            host,
+            stations_by_cell,
+            semisoft,
+            cells=cells,
+            sample_period=spec.sample_period,
+        ))
+        hosts.append(host)
+        plan = plan_flow(
+            sim,
+            kind,
+            f"{spec.name}.mn{index}",
+            streams,
+            ack_dispatcher,
+            downlink,
+            host.on_data,
+            host.originate,
+            cn.address,
+            host.address,
+        )
+        if plan is not None:
+            flow_plans.append(plan)
+    # Flash-crowd hotspots: extra simultaneous correspondent flows.
+    for index in hotspot_indices:
+        for flow in range(spec.hotspot_flows):
+            flow_plans.append(plan_flow(
+                sim,
+                "poisson-data",
+                f"{spec.name}.mn{index}.hot{flow}",
+                streams,
+                ack_dispatcher,
+                downlink,
+                hosts[index].on_data,
+                hosts[index].originate,
+                cn.address,
+                hosts[index].address,
+            ))
+
+    return BuiltCIPScenario(
+        spec=spec,
+        seed=int(seed),
+        sim=sim,
+        network=network,
+        domain=domain,
+        hosts=hosts,
+        controllers=controllers,
+        flow_plans=flow_plans,
+        channel_plan=channel_plan,
+    )
+
+
+class CellularIPStack(StackAdapter):
+    """Flat Cellular IP over the multi-tier geometry (semisoft handoff).
+
+    Soft-state routing caches, paging for idle hosts, and the semisoft
+    dual-path handoff — the micro-mobility baseline.  Extras are
+    namespaced ``cip.*``.
+    """
+
+    name = "cellularip"
+    description = (
+        "flat Cellular IP baseline: soft-state routing caches, "
+        "semisoft handoff, no tier policy"
+    )
+    metric_namespace = "cip"
+
+    def build(self, spec: ScenarioSpec, seed: int) -> BuiltCIPScenario:
+        """Assemble the flat CIP world (see :func:`build_cip_scenario`)."""
+        return build_cip_scenario(spec, seed)
+
+    def exercised(self, spec: ScenarioSpec) -> list[str]:
+        """Adapter features ``spec`` exercises under flat Cellular IP."""
+        features = super().exercised(spec)
+        features.append("soft-state route/paging caches + semisoft handoff")
+        if spec.domains == 2:
+            features.append("single flat tree spans both domains' sites")
+        if spec.pico_cells > 0:
+            features.append(f"pico sites in the access tree ({spec.pico_cells})")
+        mapped = sorted(set(spec.domain_overrides) & _CIP_DOMAIN_PARAMS)
+        if mapped:
+            features.append("domain overrides mapped: " + ", ".join(mapped))
+        return features
+
+
+register_stack(CellularIPStack())
+
+__all__ = [
+    "MOBILE_PREFIX",
+    "BuiltCIPScenario",
+    "CellularIPStack",
+    "build_cip_scenario",
+]

@@ -1,0 +1,342 @@
+"""The multi-tier stack adapter: the paper's architecture (default).
+
+This is the pre-stacks ``repro.scenarios.builder`` world-assembly code
+hoisted behind the :class:`~repro.stacks.base.StackAdapter` interface:
+a :class:`~repro.multitier.architecture.MultiTierWorld` (one or two
+domains, optional pico cells, optional shared air interface), the
+shared population plan from :mod:`repro.stacks.population`, per-mobile
+:class:`~repro.multitier.architecture.MobilityController`\\ s applying
+the three-factor handoff decision, and RSMC route optimization at the
+correspondent.
+
+Byte-identity contract: for any spec with ``stack="multitier"`` (the
+default) this adapter's build order, stream names and metric
+collection are IDENTICAL to the pre-refactor builder — pinned by the
+``results/scenarios_smoke/`` goldens and the 16 experiment tables.
+
+Determinism: all randomness flows through named
+:class:`~repro.sim.rng.RandomStreams` keyed by mobile index, so the
+same ``(spec, seed)`` pair builds an identical world and returns
+byte-identical metrics on any execution backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.multitier.architecture import MobilityController, MultiTierWorld
+from repro.multitier.mobile import MultiTierMobileNode
+from repro.multitier.policy import TierSelectionPolicy
+from repro.net.packet import Packet
+from repro.radio.channel import ChannelPlan
+from repro.sim.rng import RandomStreams
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only (import cycle)
+    from repro.scenarios.spec import ScenarioSpec
+from repro.stacks.base import StackAdapter, run_measurement_phases
+from repro.stacks.population import (
+    BANDWIDTH_DEMAND,
+    ElasticAckDispatcher,
+    FlowPlan,
+    assignments,
+    make_mobility,
+    pico_placements,
+    plan_flow,
+    roam_rectangle,
+    start_positions,
+)
+from repro.stacks.registry import register_stack
+from repro.traffic import FlowSink, TrafficSource
+
+
+@dataclass
+class BuiltScenario:
+    """A fully assembled multi-tier world plus its planned traffic."""
+
+    spec: ScenarioSpec
+    seed: int
+    world: MultiTierWorld
+    mobiles: list[MultiTierMobileNode]
+    controllers: list[MobilityController]
+    mobility_assignment: list[str]
+    traffic_assignment: list[str]
+    hotspot_indices: list[int]
+    flow_plans: list[FlowPlan]
+    sources: list[TrafficSource] = field(default_factory=list)
+    sinks: list[FlowSink] = field(default_factory=list)
+
+    def execute(self) -> dict[str, float]:
+        """Run warmup → traffic window → drain; return scenario metrics."""
+        return run_measurement_phases(
+            self.world.sim,
+            self.spec,
+            self.flow_plans,
+            self.sources,
+            self.sinks,
+            self._collect_metrics,
+        )
+
+    # ------------------------------------------------------------------
+    def _collect_metrics(self) -> dict[str, float]:
+        spec = self.spec
+        sent = sum(source.packets_sent for source in self.sources)
+        received = sum(sink.received for sink in self.sinks)
+        delays = [s.mean_delay() for s in self.sinks if s.received > 0]
+        jitters = [s.jitter() for s in self.sinks if s.received > 1]
+        gaps = [s.max_gap() for s in self.sinks if s.received > 1]
+        handoffs = sum(m.handoffs_completed for m in self.mobiles)
+        latencies = [
+            latency for m in self.mobiles for latency in m.handoff_latencies
+        ]
+        blocked = sum(c.blocked_attach_attempts for c in self.controllers)
+        attached = sum(1 for m in self.mobiles if m.serving_bs is not None)
+        cn = self.world.cn
+        routed = cn.sent_via_binding + cn.sent_via_home
+        elastic = [
+            (source, sink)
+            for source, sink, plan in zip(
+                self.sources, self.sinks, self.flow_plans
+            )
+            if plan.kind == "elastic-data"
+        ]
+        goodput = [
+            sink.bytes_received * 8.0 / spec.duration for _, sink in elastic
+        ]
+        # Metrics are plain floats and never NaN, so serial-vs-parallel
+        # byte-identity is checkable with ordinary equality.
+        metrics = {
+            "population": float(spec.population),
+            "flows": float(len(self.flow_plans)),
+            "sent": float(sent),
+            "received": float(received),
+            "loss_rate": (1.0 - received / sent) if sent else 0.0,
+            "mean_delay": (sum(delays) / len(delays)) if delays else 0.0,
+            "jitter": (sum(jitters) / len(jitters)) if jitters else 0.0,
+            "max_gap": max(gaps) if gaps else 0.0,
+            "handoffs": float(handoffs),
+            "handoff_latency": (
+                (sum(latencies) / len(latencies)) if latencies else 0.0
+            ),
+            "blocked_attaches": float(blocked),
+            "attached": float(attached),
+            "via_binding_fraction": (
+                cn.sent_via_binding / routed if routed else 0.0
+            ),
+            "elastic_goodput_bps": (
+                (sum(goodput) / len(goodput)) if goodput else 0.0
+            ),
+            "hop_total": float(sum(self.world.protocol_hop_totals().values())),
+        }
+        if self.world.channel_plan is not None:
+            # Contention mode only: adding keys to a legacy run would
+            # change its rendered table and break pre-channel
+            # byte-identity.
+            from repro.radio.channel import DOWNLINK, UPLINK
+
+            channels = [
+                bs.shared_channel
+                for bs in self.world.all_radio_stations()
+                if bs.shared_channel is not None
+            ]
+            window = spec.warmup + spec.duration + spec.drain
+            busiest = max(
+                (ch.stats.busy_seconds[DOWNLINK] for ch in channels),
+                default=0.0,
+            )
+            #: Downlink utilization of the most loaded cell (1 = the
+            #: air interface is the binding constraint there).
+            metrics["air_busiest_downlink"] = busiest / window
+            metrics["air_detach_drops"] = float(
+                sum(
+                    ch.stats.dropped_on_detach[DOWNLINK]
+                    + ch.stats.dropped_on_detach[UPLINK]
+                    for ch in channels
+                )
+            )
+        return metrics
+
+
+# ----------------------------------------------------------------------
+def _downlink(world: MultiTierWorld, mobile: MultiTierMobileNode):
+    """A send callable streaming CN -> mobile with route optimization."""
+
+    def send(packet: Packet) -> bool:
+        return world.cn.send_to_mobile(
+            mobile.home_address,
+            size=packet.size,
+            flow_id=packet.flow_id,
+            seq=packet.seq,
+            created_at=packet.created_at,
+        )
+
+    return send
+
+
+def build_multitier_scenario(spec: ScenarioSpec, seed: int) -> BuiltScenario:
+    """Assemble the multi-tier world, population and traffic for one run.
+
+    The pre-stacks ``build_scenario`` body, verbatim: same construction
+    order, same stream names, same pico placement — the root of the
+    ``stack="multitier"`` byte-identity guarantee.  Returns the
+    assembled (not yet run) world; call :meth:`BuiltScenario.execute`
+    to run it.
+    """
+    streams = RandomStreams(int(seed))
+    channel_plan = None
+    if spec.channels_enabled():
+        # Contention mode: per-cell shared channels on every tier.  The
+        # micro tier (and any unset field) runs at its TIER_DEFAULTS
+        # budget; uplink budgets are half the downlink ones.
+        channel_plan = ChannelPlan(
+            macro_bandwidth=spec.macro_channel_bandwidth,
+            pico_bandwidth=spec.pico_channel_bandwidth,
+        )
+    world = MultiTierWorld(
+        second_domain=spec.domains == 2,
+        domain_kwargs=dict(spec.domain_overrides),
+        channel_plan=channel_plan,
+    )
+    roam = roam_rectangle(spec)
+    mobility_assignment, traffic_assignment, hotspot_indices = assignments(
+        spec, streams
+    )
+    starts = start_positions(spec, streams, roam)
+    # In-building picos (Fig 2.1's third hierarchy level).  Legacy mode
+    # keeps the historic placement: alternating fixed offsets under the
+    # micro leaves.  Contention mode deploys them at seeded population
+    # concentration points, so the pico overlay can actually absorb
+    # load — the paper's reason for its existence.  The placement rule
+    # is shared with the baselines' flat layout (pico_placements), so
+    # cross-stack cell geometry cannot drift.
+    leaf_centers = {
+        name: world.domain1[name].cell.center for name in ("B", "C", "E", "F")
+    }
+    placements = pico_placements(
+        spec, starts, mobility_assignment, traffic_assignment, leaf_centers
+    )
+    for pico, (parent_name, center) in enumerate(placements):
+        world.add_pico(parent_name, f"p{pico}", center)
+
+    ack_dispatcher = ElasticAckDispatcher()
+    world.cn.on_protocol("ack", ack_dispatcher)
+
+    # Under a shared air interface any slow, traffic-bearing mobile
+    # benefits from a covering pico's fat shared budget, so the tier
+    # policy's pico preference applies to every positive demand (with
+    # per-user dedicated radios only heavy elastic users did).
+    contention_policy = (
+        TierSelectionPolicy(demand_threshold=1.0)
+        if channel_plan is not None
+        else None
+    )
+    mobiles: list[MultiTierMobileNode] = []
+    controllers: list[MobilityController] = []
+    flow_plans: list[FlowPlan] = []
+    for index in range(spec.population):
+        kind = traffic_assignment[index]
+        mobile = world.add_mobile(
+            f"mn{index}",
+            bandwidth_demand=BANDWIDTH_DEMAND[kind],
+            airtime_key=index,
+        )
+        model = make_mobility(
+            mobility_assignment[index], index, streams, roam, starts[index]
+        )
+        controllers.append(
+            world.add_controller(
+                mobile,
+                model,
+                sample_period=spec.sample_period,
+                policy=contention_policy,
+            )
+        )
+        mobiles.append(mobile)
+        plan = plan_flow(
+            world.sim,
+            kind,
+            f"{spec.name}.mn{index}",
+            streams,
+            ack_dispatcher,
+            _downlink(world, mobile),
+            mobile.on_data,
+            mobile.originate,
+            world.cn.address,
+            mobile.home_address,
+        )
+        if plan is not None:
+            flow_plans.append(plan)
+    # Flash-crowd hotspots: extra simultaneous correspondent flows.
+    for index in hotspot_indices:
+        for flow in range(spec.hotspot_flows):
+            plan = plan_flow(
+                world.sim,
+                "poisson-data",
+                f"{spec.name}.mn{index}.hot{flow}",
+                streams,
+                ack_dispatcher,
+                _downlink(world, mobiles[index]),
+                mobiles[index].on_data,
+                mobiles[index].originate,
+                world.cn.address,
+                mobiles[index].home_address,
+            )
+            flow_plans.append(plan)
+
+    return BuiltScenario(
+        spec=spec,
+        seed=int(seed),
+        world=world,
+        mobiles=mobiles,
+        controllers=controllers,
+        mobility_assignment=mobility_assignment,
+        traffic_assignment=traffic_assignment,
+        hotspot_indices=hotspot_indices,
+        flow_plans=flow_plans,
+    )
+
+
+class MultiTierStack(StackAdapter):
+    """The paper's multi-tier architecture with RSMC route optimization.
+
+    Default stack: three-factor tier selection, make-before-break
+    handoff, RSMC buffering and CN binding updates.  Extras
+    (``blocked_attaches``, ``via_binding_fraction``) are grandfathered
+    un-namespaced — pinned by the committed golden tables.
+    """
+
+    name = "multitier"
+    description = (
+        "the paper's multi-tier architecture: tier policy, "
+        "make-before-break handoff, RSMC route optimization"
+    )
+    metric_namespace = ""  # grandfathered: predates the namespace rule
+
+    def build(self, spec: ScenarioSpec, seed: int) -> BuiltScenario:
+        """Assemble the multi-tier world (see
+        :func:`build_multitier_scenario`)."""
+        return build_multitier_scenario(spec, seed)
+
+    def exercised(self, spec: ScenarioSpec) -> list[str]:
+        """Adapter features ``spec`` exercises under the multi-tier stack."""
+        features = super().exercised(spec)
+        features.append("three-factor tier selection + RSMC route optimization")
+        if spec.domains == 2:
+            features.append("inter-domain handoff (two RSMCs)")
+        if spec.pico_cells > 0:
+            features.append(f"pico overlay ({spec.pico_cells} cells)")
+        if spec.domain_overrides:
+            features.append(
+                "domain overrides: "
+                + ", ".join(sorted(spec.domain_overrides))
+            )
+        return features
+
+
+register_stack(MultiTierStack())
+
+__all__ = [
+    "BuiltScenario",
+    "MultiTierStack",
+    "build_multitier_scenario",
+]

@@ -19,18 +19,36 @@ import repro.radio
 import repro.radio.channel
 import repro.scenarios.builder
 import repro.scenarios.catalog
+import repro.scenarios.compare
 import repro.scenarios.spec
 import repro.scenarios.sweep
+import repro.stacks
+import repro.stacks.base
+import repro.stacks.cellularip
+import repro.stacks.flat
+import repro.stacks.mobileip
+import repro.stacks.multitier
+import repro.stacks.population
+import repro.stacks.registry
 
 MODULES = [
     repro.scenarios.spec,
     repro.scenarios.builder,
     repro.scenarios.catalog,
+    repro.scenarios.compare,
     repro.scenarios.sweep,
     repro.experiments.exec,
     repro.radio,
     repro.radio.channel,
     repro.mobility,
+    repro.stacks,
+    repro.stacks.base,
+    repro.stacks.registry,
+    repro.stacks.population,
+    repro.stacks.flat,
+    repro.stacks.multitier,
+    repro.stacks.cellularip,
+    repro.stacks.mobileip,
 ]
 
 MIN_DOCSTRING = 20  # characters; rules out placeholder one-worders

@@ -1,0 +1,463 @@
+"""Tests for the pluggable protocol-stack backends (`repro.stacks`).
+
+Pins the stacks refactor's load-bearing guarantees:
+
+* registry integrity and eager unknown-stack failure (spec validation,
+  ``get_stack``, CLI ``--stack``);
+* cross-stack determinism — per-stack repeat==repeat and
+  serial==pool(2) byte-identity on a smoke scenario;
+* the shared population plan: identical offered traffic across stacks
+  at one seed;
+* one-batch dispatch for ``--stack all`` comparisons, and regrouping
+  equal to per-stack replication;
+* the golden regression: ``stack="multitier"`` output byte-identical
+  to the committed pre-refactor ``results/scenarios_smoke/`` tables;
+* Mobile IP uplink shared-channel contention (the ROADMAP nicety).
+"""
+
+import multiprocessing
+import pathlib
+
+import pytest
+
+from repro.experiments.exec import ProcessPoolBackend, SerialBackend
+from repro.scenarios import (
+    compare_scenario_stacks,
+    format_stack_comparison,
+    get_scenario,
+    replicate_scenario,
+    run_scenario_spec,
+)
+from repro.stacks import (
+    COMMON_METRICS,
+    DEFAULT_STACK,
+    get_stack,
+    iter_stacks,
+    register_stack,
+    stack_names,
+)
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+needs_fork = pytest.mark.skipif(not HAS_FORK, reason="platform lacks fork")
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+BASELINES = ["cellularip", "mobileip"]
+ALL_STACKS = [DEFAULT_STACK] + BASELINES
+
+
+def _smoke(name="campus-dense", stack=DEFAULT_STACK):
+    return get_scenario(name).smoke().replace(stack=stack)
+
+
+# ----------------------------------------------------------------------
+# Registry + spec validation
+# ----------------------------------------------------------------------
+def test_three_stacks_registered_in_order():
+    assert stack_names() == ALL_STACKS
+    for adapter in iter_stacks():
+        assert adapter.name and adapter.description
+
+
+def test_get_stack_unknown_lists_registered_names():
+    with pytest.raises(KeyError, match="multitier, cellularip, mobileip"):
+        get_stack("hawaii")
+
+
+def test_register_stack_rejects_duplicates():
+    adapter = get_stack("cellularip")
+    with pytest.raises(ValueError, match="already registered"):
+        register_stack(adapter)
+    register_stack(adapter, replace=True)  # idempotent with replace
+
+
+def test_spec_validates_stack_field_eagerly():
+    spec = get_scenario("sparse-rural")
+    assert spec.stack == DEFAULT_STACK
+    for stack in BASELINES:
+        assert spec.replace(stack=stack).stack == stack
+    with pytest.raises(ValueError, match="registered: multitier"):
+        spec.replace(stack="hawaii")
+    with pytest.raises(ValueError, match="non-empty"):
+        spec.replace(stack="")
+
+
+def test_smoke_and_derived_specs_preserve_stack():
+    spec = _smoke(stack="mobileip")
+    assert spec.smoke().stack == "mobileip"
+    assert spec.scaled(2.0).stack == "mobileip"
+
+
+# ----------------------------------------------------------------------
+# Metric contract
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("stack", ALL_STACKS)
+def test_stack_emits_common_metrics_as_plain_floats(stack):
+    metrics = run_scenario_spec(_smoke(stack=stack), seed=2)
+    for name in COMMON_METRICS:
+        assert name in metrics, f"{stack} lacks common metric {name}"
+    for name, value in metrics.items():
+        assert isinstance(value, float), f"{stack}:{name}"
+        assert value == value, f"{stack}:{name} is NaN"
+    assert metrics["population"] == float(_smoke().population)
+    assert metrics["sent"] > 0
+
+
+@pytest.mark.parametrize("stack,prefix", [("cellularip", "cip."), ("mobileip", "mip.")])
+def test_baseline_extras_are_namespaced(stack, prefix):
+    metrics = run_scenario_spec(_smoke(stack=stack), seed=1)
+    namespaced = [name for name in metrics if name.startswith(prefix)]
+    assert namespaced, f"{stack} emitted no {prefix}* extras"
+    # No foreign namespace leaks into another stack's dict.
+    other = "mip." if prefix == "cip." else "cip."
+    assert not any(name.startswith(other) for name in metrics)
+
+
+def test_air_metrics_only_in_contention_mode():
+    for stack in BASELINES:
+        legacy = run_scenario_spec(_smoke(stack=stack), seed=1)
+        assert "air_busiest_downlink" not in legacy
+        contended = run_scenario_spec(
+            _smoke("campus-air", stack=stack), seed=1
+        )
+        assert contended["air_busiest_downlink"] > 0
+
+
+def test_shared_population_plan_offers_identical_traffic():
+    """The apples-to-apples core: same seed, same offered load, every
+    stack (city-rush-hour has no elastic feedback loop)."""
+    sent = {
+        stack: run_scenario_spec(_smoke("city-rush-hour", stack=stack), 1)["sent"]
+        for stack in ALL_STACKS
+    }
+    assert len(set(sent.values())) == 1, sent
+
+
+@pytest.mark.parametrize("domains", [1, 2])
+def test_flat_layout_macro_micro_geometry_matches_multitier(domains):
+    """Every baseline cell site sits exactly on the multi-tier world's
+    cell of the same name (center, radius, tier) — the cross-stack
+    "same geometry" guarantee for the macro and micro tables, which
+    the hand-written site list in stacks/flat.py could otherwise
+    silently drift away from."""
+    from repro.multitier.architecture import MultiTierWorld
+    from repro.stacks.flat import flat_cell_layout
+
+    spec = get_scenario("sparse-rural").smoke().replace(domains=domains)
+    world = MultiTierWorld(second_domain=domains == 2)
+    world_cells = {bs.name: bs.cell for bs in world.all_radio_stations()}
+    layout = {site.name: site for site in flat_cell_layout(spec)}
+    # The flat layout mirrors every radio cell the multi-tier world has
+    # (aggregation-only stations like R3 carry no cell and no site).
+    assert set(layout) == set(world_cells)
+    for name, site in layout.items():
+        cell = world_cells[name]
+        assert (site.center.x, site.center.y) == (
+            cell.center.x, cell.center.y,
+        ), name
+        assert site.radius == cell.radius, name
+        assert site.tier == cell.tier, name
+
+
+@pytest.mark.parametrize("scenario", ["campus-dense", "campus-air"])
+def test_flat_layout_pico_geometry_matches_multitier(scenario):
+    """The baselines' pico cells sit exactly where the multi-tier
+    world's do — legacy fixed offsets and contention-mode population
+    concentration points alike (shared ``pico_placements`` rule)."""
+    from repro.scenarios import build_scenario
+    from repro.stacks.flat import flat_cell_layout
+    from repro.stacks.population import (
+        assignments,
+        roam_rectangle,
+        start_positions,
+    )
+    from repro.sim.rng import RandomStreams
+
+    spec = get_scenario(scenario).smoke()
+    assert spec.pico_cells > 0
+    built = build_scenario(spec, seed=1)
+    world_centers = [
+        built.world.domain1.stations[f"p{i}"].cell.center
+        for i in range(spec.pico_cells)
+    ]
+    streams = RandomStreams(1)
+    mobility, traffic, _ = assignments(spec, streams)
+    starts = start_positions(spec, streams, roam_rectangle(spec))
+    flat_centers = [
+        site.center
+        for site in flat_cell_layout(spec, starts, mobility, traffic)
+        if site.name.startswith("p")
+    ]
+    assert [(c.x, c.y) for c in flat_centers] == [
+        (c.x, c.y) for c in world_centers
+    ]
+
+
+def test_mobileip_maps_wired_backhaul_override():
+    """campus-dense's defining 2.5 Mbit/s choke applies to the Mobile
+    IP access backhaul too — choked comparisons are apples-to-apples."""
+    from repro.scenarios import build_scenario
+
+    spec = _smoke("campus-dense", stack="mobileip")
+    assert spec.domain_overrides["wired_bandwidth"] == 2.5e6
+    built = build_scenario(spec, seed=1)
+    core = built.network["internet"]
+    for agent in built.agents:
+        assert agent.link_to(core).bandwidth == 2.5e6
+    adapter = get_stack("mobileip")
+    assert any(
+        "wired_bandwidth" in feature for feature in adapter.exercised(spec)
+    )
+
+
+# ----------------------------------------------------------------------
+# Cross-stack determinism
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("stack", BASELINES)
+def test_stack_repeat_same_seed_is_byte_identical(stack):
+    spec = _smoke(stack=stack)
+    assert run_scenario_spec(spec, seed=1) == run_scenario_spec(spec, seed=1)
+
+
+@needs_fork
+@pytest.mark.parametrize("stack", BASELINES)
+def test_stack_serial_vs_pool_is_byte_identical(stack):
+    spec = _smoke(stack=stack)
+    seeds = [1, 2]
+    serial = replicate_scenario(spec, seeds=seeds, backend=SerialBackend())
+    pooled = replicate_scenario(
+        spec, seeds=seeds, backend=ProcessPoolBackend(2)
+    )
+    assert serial.samples == pooled.samples
+    assert serial.metrics == pooled.metrics
+
+
+# ----------------------------------------------------------------------
+# Cross-stack comparison batching
+# ----------------------------------------------------------------------
+class _CountingBackend(SerialBackend):
+    """Serial backend that counts ``run`` batches."""
+
+    def __init__(self):
+        super().__init__()
+        self.batches = 0
+        self.jobs_seen = 0
+
+    def run(self, jobs):
+        self.batches += 1
+        jobs = list(jobs)
+        self.jobs_seen += len(jobs)
+        return super().run(jobs)
+
+
+def test_compare_dispatches_one_backend_batch():
+    backend = _CountingBackend()
+    specs = [_smoke("sparse-rural"), _smoke("city-rush-hour")]
+    comparisons = compare_scenario_stacks(specs, backend=backend)
+    assert backend.batches == 1
+    # Whole (scenario, stack, seed) grid in that one batch.
+    expected = sum(len(spec.seeds) for spec in specs) * len(ALL_STACKS)
+    assert backend.jobs_seen == expected
+    assert [c.spec.name for c in comparisons] == [s.name for s in specs]
+
+
+def test_compare_matches_per_stack_replication():
+    spec = _smoke("sparse-rural")
+    (comparison,) = compare_scenario_stacks([spec], backend=SerialBackend())
+    assert comparison.stacks == ALL_STACKS
+    for stack in ALL_STACKS:
+        single = replicate_scenario(
+            spec.replace(stack=stack), backend=SerialBackend()
+        )
+        assert comparison.replications[stack].samples == single.samples
+        assert comparison.replications[stack].metrics == single.metrics
+
+
+def test_compare_rejects_unknown_stack_eagerly():
+    backend = _CountingBackend()
+    with pytest.raises(KeyError, match="registered"):
+        compare_scenario_stacks(
+            [_smoke()], stacks=["multitier", "hawaii"], backend=backend
+        )
+    assert backend.batches == 0  # failed before any simulation ran
+
+
+def test_format_stack_comparison_is_deterministic_and_complete():
+    spec = _smoke("city-rush-hour")
+    render = [
+        format_stack_comparison(
+            compare_scenario_stacks([spec], backend=SerialBackend())[0]
+        )
+        for _ in range(2)
+    ]
+    assert render[0] == render[1]
+    text = render[0]
+    for stack in ALL_STACKS:
+        assert stack in text
+    for metric in ("loss_rate", "mean_delay", "handoffs"):
+        assert metric in text
+    assert "cip.route_updates" in text and "mip.tunneled" in text
+
+
+# ----------------------------------------------------------------------
+# Golden regression: the multitier path is byte-identical pre/post
+# ----------------------------------------------------------------------
+def test_multitier_scenario_smoke_matches_committed_goldens(tmp_path):
+    """``scenario run all --smoke`` (default ``stack="multitier"``)
+    must stay byte-identical to the pre-refactor output committed in
+    ``results/scenarios_smoke/`` — the stacks refactor's compatibility
+    contract for the hoisted builder."""
+    from repro.cli import main
+
+    assert main(["scenario", "run", "all", "--smoke", "-o", str(tmp_path)]) == 0
+    goldens = REPO_ROOT / "results" / "scenarios_smoke"
+    expected = sorted(p.name for p in goldens.glob("*.txt"))
+    produced = sorted(p.name for p in tmp_path.glob("*.txt"))
+    assert produced == expected
+    mismatched = [
+        name
+        for name in produced
+        if (tmp_path / name).read_bytes() != (goldens / name).read_bytes()
+    ]
+    assert not mismatched, (
+        f"multitier scenario tables diverged from "
+        f"results/scenarios_smoke/ goldens: {', '.join(mismatched)}"
+    )
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_rejects_unknown_stack_eagerly(capsys):
+    from repro.cli import main
+
+    assert main(["scenario", "run", "sparse-rural", "--stack", "nope"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown stack" in err
+    for stack in ALL_STACKS:
+        assert stack in err
+    assert main(["scenario", "sweep", "sparse-rural/population",
+                 "--stack", "nope"]) == 2
+    assert "unknown stack" in capsys.readouterr().err
+
+
+def test_cli_stack_multitier_matches_default_output(capsys):
+    from repro.cli import main
+
+    argv = ["scenario", "run", "sparse-rural", "--smoke"]
+    assert main(argv) == 0
+    default_out = capsys.readouterr().out
+    assert main(argv + ["--stack", "multitier"]) == 0
+    explicit_out = capsys.readouterr().out
+    strip = lambda text: [
+        line for line in text.splitlines() if not line.startswith("[")
+    ]
+    assert strip(default_out) == strip(explicit_out)
+
+
+def test_cli_stack_all_writes_comparison_table(capsys, tmp_path):
+    from repro.cli import main
+
+    argv = [
+        "scenario", "run", "sparse-rural", "--smoke",
+        "--stack", "all", "-o", str(tmp_path),
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "stack comparison" in out
+    written = tmp_path / "scenario_sparse-rural_stacks.txt"
+    assert written.exists()
+    assert written.read_text().strip() in out
+
+
+def test_cli_single_baseline_stack_names_stack_in_title(capsys, tmp_path):
+    from repro.cli import main
+
+    argv = [
+        "scenario", "run", "sparse-rural", "--smoke",
+        "--stack", "cellularip", "-o", str(tmp_path),
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "[stack=cellularip]" in out
+    assert (tmp_path / "scenario_sparse-rural--cellularip.txt").exists()
+
+
+def test_cli_describe_lists_stacks(capsys):
+    from repro.cli import main
+
+    assert main(["scenario", "describe", "campus-dense"]) == 0
+    out = capsys.readouterr().out
+    assert "stacks (select with --stack <name|all>)" in out
+    for stack in ALL_STACKS:
+        assert stack in out
+    assert "exercises:" in out
+
+
+def test_cli_sweep_stack_all_runs_every_stack(capsys):
+    from repro.cli import main
+
+    argv = [
+        "scenario", "sweep", "sparse-rural/population", "--smoke",
+        "--stack", "all",
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "[stack=cellularip]" in out and "[stack=mobileip]" in out
+    assert "[3 sweeps completed" in out.splitlines()[-1] or "3 sweeps" in out
+
+
+# ----------------------------------------------------------------------
+# Mobile IP uplink shared-channel contention (ROADMAP nicety)
+# ----------------------------------------------------------------------
+def test_foreign_agent_uplink_contends_on_shared_channel():
+    from repro.mobileip import ForeignAgent, MobileIPNode
+    from repro.net.packet import Packet
+    from repro.radio.channel import DOWNLINK, UPLINK, SharedChannel
+    from repro.sim.kernel import Simulator
+
+    sim = Simulator()
+    channel = SharedChannel(sim, "air-fa", 384e3, 192e3)
+    agent = ForeignAgent(
+        sim, "fa", "10.0.0.1", shared_channel=channel
+    )
+    mobile = MobileIPNode(
+        sim, "mn", home_address="10.99.0.5", home_agent_address="10.0.0.9"
+    )
+    mobile.airtime_key = 0
+    agent.attach_mobile(mobile)
+    assert 0 in channel.attached
+
+    # Uplink data from the mobile serializes through the uplink budget.
+    mobile.send_via(agent, Packet(
+        src=mobile.address, dst="10.0.0.1", size=500,
+        protocol="data", created_at=sim.now,
+    ))
+    sim.run(until=0.1)
+    assert channel.stats.submitted[UPLINK] >= 1
+    assert channel.stats.granted[UPLINK] >= 1
+    # The attach-time advertisement rode the downlink budget.
+    assert channel.stats.granted[DOWNLINK] >= 1
+
+    # Detach cancels the claim (and any queued airtime).
+    agent.detach_mobile(mobile)
+    assert 0 not in channel.attached
+
+
+def test_mobileip_stack_registration_uplink_counts_airtime():
+    """End-to-end: a contention-mode Mobile IP scenario pushes its
+    registration requests through the shared uplink queues."""
+    from repro.radio.channel import UPLINK
+    from repro.scenarios import build_scenario
+
+    spec = _smoke("campus-air", stack="mobileip")
+    built = build_scenario(spec, seed=1)
+    metrics = built.execute()
+    assert metrics["mip.registrations_accepted"] > 0
+    uplink_submitted = sum(
+        agent.shared_channel.stats.submitted[UPLINK]
+        for agent in built.agents
+        if agent.shared_channel is not None
+    )
+    assert uplink_submitted > 0
+    assert "air_busiest_downlink" in metrics
