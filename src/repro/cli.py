@@ -14,7 +14,7 @@ Usage::
     python -m repro scenario run all --jobs 4     # whole catalog, 4 workers
     python -m repro scenario run mega --seeds 1 2 # override the seed list
 
-    python -m repro scenario run city-rush-hour --stack all         # 3 stacks,
+    python -m repro scenario run city-rush-hour --stack all         # 4 stacks,
                                                 # side-by-side comparison table
     python -m repro scenario run campus-dense --stack mobileip      # 1 baseline
 
@@ -121,8 +121,15 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="STACK",
         help="protocol stack to run under (a registered stack name, or "
-        "'all' for a side-by-side multitier/cellularip/mobileip "
-        "comparison); default: each spec's own stack",
+        "'all' for a side-by-side comparison of every registered "
+        "stack); default: each spec's own stack",
+    )
+    scenario_run.add_argument(
+        "--trace-decisions",
+        action="store_true",
+        help="after each table, replay the first seed in-process and "
+        "print its decision trace (per-reason counts + last recorded "
+        "tier decisions and fallbacks; multi-tier stack only)",
     )
     scenario_run.add_argument(
         "-o",
@@ -281,9 +288,14 @@ def _scenario_main(args: argparse.Namespace) -> int:
         specs = [spec.smoke() for spec in specs]
 
     if args.stack == "all":
+        if args.trace_decisions:
+            print(
+                "[--trace-decisions applies to single-stack runs; "
+                "ignored with --stack all]"
+            )
         # Cross-stack mode: the whole (scenario, stack, seed) grid is
         # ONE backend batch; each scenario renders a side-by-side
-        # multitier/cellularip/mobileip comparison table.
+        # comparison table across every registered stack.
         started = time.perf_counter()
         comparisons = scenarios.compare_scenario_stacks(
             specs, seeds=args.seeds, backend=backend_for_jobs(args.jobs)
@@ -322,6 +334,20 @@ def _scenario_main(args: argparse.Namespace) -> int:
         text = scenarios.format_scenario_result(spec, replication, seeds)
         print(text)
         print()
+        if args.trace_decisions:
+            # Replay the first seed in-process (byte-identical run; the
+            # trace is observation, not behavior) and show its ring.
+            _metrics, trace = scenarios.run_scenario_trace(spec, seeds[0])
+            if trace is None:
+                print(
+                    f"[no decision trace: stack {spec.stack!r} makes "
+                    f"no tier decisions]"
+                )
+            else:
+                print(trace.render(
+                    title=f"decision trace: {spec.name} seed {seeds[0]}"
+                ))
+            print()
         if args.output_dir is not None:
             args.output_dir.mkdir(parents=True, exist_ok=True)
             safe = spec.name.replace("/", "_").lower()

@@ -32,6 +32,8 @@ from repro.multitier.mnld import MNLD
 from repro.multitier.mobile import MultiTierMobileNode
 from repro.multitier.policy import Candidate, HandoffFactors, TierSelectionPolicy
 from repro.multitier.rsmc import RSMC
+from repro.policy.trace import DecisionTrace
+from repro.policy.types import FallbackDecision, NextAction, TierDecision
 from repro.net import Network
 from repro.net.addressing import AddressAllocator
 from repro.radio.cells import Cell, Tier
@@ -80,6 +82,10 @@ class MultiTierWorld:
         #: Per-tier shared air-interface budgets; ``None`` (default) =
         #: legacy unconstrained per-mobile radio links.
         self.channel_plan = channel_plan
+        #: World-wide decision-trace log: every controller built via
+        #: :meth:`add_controller` records its tier decisions and
+        #: fallbacks here (ring buffer + exact ``policy.*`` counters).
+        self.decision_trace = DecisionTrace()
         self._home_allocator = AddressAllocator(HOME_PREFIX)
 
         # Wired core ----------------------------------------------------
@@ -268,6 +274,7 @@ class MultiTierWorld:
         return stations
 
     def add_controller(self, mobile, model, **kwargs) -> "MobilityController":
+        kwargs.setdefault("trace", self.decision_trace)
         controller = MobilityController(
             self.sim, mobile, model, self.all_radio_stations(), **kwargs
         )
@@ -291,11 +298,16 @@ class MobilityController:
         min_usable_dbm: float = -95.0,
         propagation: Optional[PropagationModel] = None,
         offload_queue_threshold: int = 3,
+        trace: Optional[DecisionTrace] = None,
     ) -> None:
         self.sim = sim
         self.mobile = mobile
         self.model = model
         self.policy = policy if policy is not None else TierSelectionPolicy()
+        #: Decision-trace log this controller records into; worlds pass
+        #: their shared per-world trace, hand-built controllers get a
+        #: private one.
+        self.trace = trace if trace is not None else DecisionTrace()
         self.sample_period = sample_period
         self.hysteresis_db = hysteresis_db
         #: Contention mode only: downlink packets waiting on the
@@ -343,23 +355,82 @@ class MobilityController:
             ordered = self.policy.order_candidates(candidates, factors)
 
             if mobile.serving_bs is None:
-                for candidate in ordered:
+                for index, candidate in enumerate(ordered):
                     if mobile.initial_attach(candidate.station):
                         break
                     self.blocked_attach_attempts += 1
+                    self._note_fallback(
+                        candidate,
+                        ordered[index + 1:],
+                        candidate.station.last_rejection_reason
+                        or "attach-blocked",
+                    )
                 continue
 
             decision = self._decide(position, candidates, factors, ordered)
             if decision is None:
                 continue
+            self.trace.record(
+                self.sim.now,
+                mobile.name,
+                "decision",
+                decision.reasons,
+                target=(
+                    decision.target.station.name
+                    if decision.target is not None
+                    else ""
+                ),
+            )
             # Try candidates best-first until one admits us (the paper's
             # tier overflow: "turns to ask micro-tier for handoff").
-            for candidate in decision:
+            for index, candidate in enumerate(decision.targets):
                 if candidate.station is mobile.serving_bs:
                     break
                 accepted = yield from mobile.perform_handoff(candidate.station)
                 if accepted:
                     break
+                self._note_fallback(
+                    candidate,
+                    decision.targets[index + 1:],
+                    mobile.last_handoff_failure or "handoff-rejected",
+                )
+
+    def _note_fallback(
+        self,
+        failed: Candidate,
+        remaining: list[Candidate],
+        reason: str,
+    ) -> FallbackDecision:
+        """Record what happens after one refused or timed-out attempt.
+
+        Mirrors the try-next-candidate loop exactly: the next target is
+        ``remaining[0]`` (the serving station there means the loop will
+        stop), a different tier means the §3.2 "turn to ask" overflow
+        (``ESCALATE_TIER``), the same tier a plain retry.  Returns the
+        :class:`FallbackDecision` it recorded.
+        """
+        serving = self.mobile.serving_bs
+        nxt = remaining[0] if remaining else None
+        if nxt is None or nxt.station is serving:
+            action = NextAction.STOP
+            next_tier = None
+            target = ""
+        else:
+            if nxt.tier is not failed.tier:
+                action = NextAction.ESCALATE_TIER
+            else:
+                action = NextAction.RETRY_SAME_TIER
+            next_tier = nxt.tier
+            target = nxt.station.name
+        self.trace.record(
+            self.sim.now,
+            self.mobile.name,
+            "fallback",
+            [reason],
+            action=action.value,
+            target=target,
+        )
+        return FallbackDecision(action=action, next_tier=next_tier, reason=reason)
 
     def _channel_congested(self, station: MultiTierBaseStation) -> bool:
         """True when ``station``'s shared downlink queue is at or above
@@ -405,17 +476,26 @@ class MobilityController:
         candidates: list[Candidate],
         factors: HandoffFactors,
         ordered: list[Candidate],
-    ) -> Optional[list[Candidate]]:
-        """None = stay; otherwise an ordered target list to try."""
+    ) -> Optional[TierDecision]:
+        """None = stay; otherwise an explainable decision whose
+        ``targets`` are the ordered candidates to try and whose
+        ``reasons`` name the branch that fired (reason vocabulary:
+        ``docs/POLICY.md``)."""
         mobile = self.mobile
         serving = mobile.serving_bs
         serving_candidate = next(
             (c for c in candidates if c.station is serving), None
         )
 
+        def decision(targets: list[Candidate], reasons: list[str]) -> TierDecision:
+            return TierDecision(targets=targets, reasons=reasons, factors=factors)
+
         # Factor: signal — out of the serving cell entirely, must move.
         if serving_candidate is None or not serving.cell.covers(position):
-            return [c for c in ordered if c.station is not serving]
+            return decision(
+                [c for c in ordered if c.station is not serving],
+                ["out-of-coverage"] + self.policy.preference_reasons(factors),
+            )
 
         # Factor: resources — in contention mode a congested shared
         # channel sheds traffic-bearing mobiles toward covering cells
@@ -424,7 +504,9 @@ class MobilityController:
         # its bandwidth).  Never fires in legacy mode (no channel).
         relief = self._airtime_relief(ordered, factors)
         if relief is not None:
-            return relief
+            return decision(
+                relief, ["airtime-relief", "serving-channel-congested"]
+            )
 
         if not self.policy.tier_agnostic:
             # Factors: speed / bandwidth demand — switch to a tier the
@@ -443,9 +525,14 @@ class MobilityController:
             ]
             if better_tier:
                 best_rank = min(preference.index(c.tier) for c in better_tier)
-                return [
-                    c for c in better_tier if preference.index(c.tier) == best_rank
-                ]
+                return decision(
+                    [
+                        c
+                        for c in better_tier
+                        if preference.index(c.tier) == best_rank
+                    ],
+                    ["better-tier"] + self.policy.preference_reasons(factors),
+                )
             rivals = [
                 c
                 for c in candidates
@@ -460,7 +547,13 @@ class MobilityController:
         if rivals:
             best = max(rivals, key=lambda c: c.rss_dbm)
             if best.rss_dbm >= serving_candidate.rss_dbm + self.hysteresis_db:
-                return [best] + [
-                    c for c in ordered if c.station not in (best.station, serving)
-                ]
+                return decision(
+                    [best]
+                    + [
+                        c
+                        for c in ordered
+                        if c.station not in (best.station, serving)
+                    ],
+                    ["signal-hysteresis"],
+                )
         return None

@@ -84,6 +84,13 @@ class MultiTierBaseStation(Node):
         self.handoffs_accepted = 0
         self.handoffs_rejected = 0
         self.new_calls_blocked = 0
+        #: Admissions refused by the shared channel's demand budget
+        #: (a subset of handoffs_rejected / new_calls_blocked).
+        self.air_admission_rejects = 0
+        #: Cause token of the most recent refusal this station issued
+        #: (``air-budget-exceeded`` or ``channel-pool-full``) — read by
+        #: the mobility controller to explain attach fallbacks.
+        self.last_rejection_reason = ""
         self.dropped_no_record = 0
         self.dropped_stale_radio = 0
         self.delivered_to_mobiles = 0
@@ -115,7 +122,10 @@ class MultiTierBaseStation(Node):
                 channel_key=airtime_key(mobile),
             )
             if self.shared_channel is not None:
-                self.shared_channel.attach(airtime_key(mobile))
+                self.shared_channel.attach(
+                    airtime_key(mobile),
+                    demand=getattr(mobile, "bandwidth_demand", 0.0),
+                )
 
     def radio_disconnect(self, mobile: Node) -> None:
         """Tear the radio link down, migrating the airtime claim away.
@@ -133,9 +143,23 @@ class MultiTierBaseStation(Node):
     # Admission (the "resources of BS" factor)
     # ------------------------------------------------------------------
     def admit_new_call(self, mobile: Node) -> bool:
-        """Initial attachment: may not take guard channels."""
+        """Initial attachment: may not take guard channels.
+
+        Checks both resource pools — the shared channel's demand
+        budget first (when admission control is on), then the guarded
+        channel pool — and records the cause of a refusal in
+        :attr:`last_rejection_reason`.
+        """
+        if self.shared_channel is not None and not self.shared_channel.admit(
+            airtime_key(mobile), getattr(mobile, "bandwidth_demand", 0.0)
+        ):
+            self.last_rejection_reason = "air-budget-exceeded"
+            self.air_admission_rejects += 1
+            self.new_calls_blocked += 1
+            return False
         channel = self.channels.admit_new_call()
         if channel is None:
+            self.last_rejection_reason = "channel-pool-full"
             self.new_calls_blocked += 1
             return False
         self.radio_connect(mobile)
@@ -258,8 +282,20 @@ class MultiTierBaseStation(Node):
         request = packet.payload
         self.handoff_requests += 1
         mobile_address = request.mobile_address
-        channel = self.channels.admit_handoff()
+        mobile = self._linked_mobile(mobile_address)
+        # Resources factor, checked in order: the shared channel's
+        # demand budget (when admission control is on), then the
+        # guarded channel pool.
+        air_ok = (
+            self.shared_channel is None
+            or mobile is None
+            or self.shared_channel.admit(
+                airtime_key(mobile), request.bandwidth_demand
+            )
+        )
+        channel = self.channels.admit_handoff() if air_ok else None
         accepted = channel is not None
+        reason = ""
         if accepted:
             # Hold the channel until the Update Location Message lands.
             previous = self._pending_channels.pop(mobile_address, None)
@@ -269,14 +305,18 @@ class MultiTierBaseStation(Node):
             self.handoffs_accepted += 1
             self._notify_handoff_begin(request)
         else:
+            reason = "channel-pool-full" if air_ok else "air-budget-exceeded"
+            if not air_ok:
+                self.air_admission_rejects += 1
+            self.last_rejection_reason = reason
             self.handoffs_rejected += 1
 
         answer = messages.HandoffAnswer(
             mobile_address=mobile_address,
             handoff_id=request.handoff_id,
             accepted=accepted,
+            reason=reason,
         )
-        mobile = self._linked_mobile(mobile_address)
         if mobile is not None:
             self.send_via(
                 mobile,

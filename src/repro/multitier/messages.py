@@ -79,6 +79,9 @@ class HandoffAnswer:
     mobile_address: IPAddress
     handoff_id: int
     accepted: bool
+    #: Machine-readable rejection cause (empty when accepted), e.g.
+    #: ``channel-pool-full`` or ``air-budget-exceeded``.
+    reason: str = ""
 
 
 @dataclass(frozen=True)

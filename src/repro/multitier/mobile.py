@@ -57,6 +57,11 @@ class MultiTierMobileNode(Node):
         self.handoffs_completed = 0
         self.handoffs_rejected = 0
         self.handoffs_timed_out = 0
+        #: Cause token of the most recent failed attempt (empty after a
+        #: success) — read by the mobility controller to explain the
+        #: resulting fallback: ``handoff-timeout``, or the rejecting
+        #: base station's reason (e.g. ``air-budget-exceeded``).
+        self.last_handoff_failure = ""
         self.handoff_latencies: list[float] = []
         self.location_messages_sent = 0
         self.data_received = 0
@@ -171,6 +176,7 @@ class MultiTierMobileNode(Node):
         """
         if new_bs is self.serving_bs:
             return True
+        self.last_handoff_failure = ""
         self.handoffs_attempted += 1
         handoff_id = next(_handoff_ids)
         started = self.sim.now
@@ -200,12 +206,16 @@ class MultiTierMobileNode(Node):
 
         if answer_event not in outcome:
             self.handoffs_timed_out += 1
+            self.last_handoff_failure = "handoff-timeout"
             if new_bs is not self.serving_bs:
                 new_bs.radio_disconnect(self)
             return False
         answer = answer_event.value
         if not answer.accepted:
             self.handoffs_rejected += 1
+            self.last_handoff_failure = (
+                getattr(answer, "reason", "") or "channel-pool-full"
+            )
             if new_bs is not self.serving_bs:
                 new_bs.radio_disconnect(self)
             return False

@@ -1,128 +1,113 @@
-"""The paper's three-factor handoff decision (§3.2).
+"""The paper's three-factor handoff decision (§3.2) — compat layer.
 
 "When MN demands a handoff request, three kinds of factor are
 considered to decide the suitable tier that MN should hop.  The first
 is the speed of MN, the power of signal from BS is considered also,
 and the last is the resources of BS."
 
-Speed and bandwidth demand pick the *preferred tier*; signal strength
-ranks candidates inside a tier; resources are checked by admission at
-the base station (a rejection makes the MN "turn to ask" the other
-tier — overflow).
+The decision engine itself now lives in :mod:`repro.policy` (the
+explainable, config-driven :class:`~repro.policy.decider.TierDecider`).
+This module keeps the historical names importable:
+:class:`TierSelectionPolicy` and the E9 ablation baselines are thin
+subclasses pinning the corresponding
+:class:`~repro.policy.config.PolicyConfig` mode, and
+:class:`~repro.policy.types.HandoffFactors` /
+:class:`~repro.policy.types.Candidate` are re-exported.  Ordering is
+byte-identical to the historical classes (and still deterministic:
+pure functions of candidates and factors, pinned by the golden
+tables).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
-
-from repro.radio.cells import Tier
+from repro.policy.decider import TierDecider
+from repro.policy.types import Candidate, HandoffFactors
 
 
-@dataclass
-class HandoffFactors:
-    """Inputs the mobile can observe locally."""
+class TierSelectionPolicy(TierDecider):
+    """The paper's speed-aware policy under its historical name.
 
-    speed: float
-    bandwidth_demand: float = 0.0
-    serving_tier: Optional[Tier] = None
-
-
-@dataclass
-class Candidate:
-    """One admissible target: a base station heard at some signal level."""
-
-    station: object  # MultiTierBaseStation (untyped to avoid an import cycle)
-    rss_dbm: float
-    tier: Tier = field(init=False)
-
-    def __post_init__(self) -> None:
-        self.tier = self.station.tier
-
-
-class TierSelectionPolicy:
-    """Order handoff candidates by tier preference, then signal.
-
-    * Fast mobiles prefer the macro tier: micro cells would hand off
-      every few seconds ("the speed of MN").
-    * Slow mobiles with high bandwidth demand prefer the micro tier,
-      whose cells offer more per-user bandwidth (§3.2 case a: "MN needs
-      more bandwidth ... system will switch MN to micro-cell").
-    * Within a tier, stronger signal wins ("the power of signal").
-
-    The admission (resources) factor is applied by trying candidates in
-    the returned order until one accepts.
+    Equivalent to ``TierDecider(mode="speed-aware")``; both thresholds
+    are validated (finite, strictly positive) with the same
+    ``ValueError`` shape.
     """
-
-    #: True for policies that ignore tiers entirely (signal chasing):
-    #: the controller then applies hysteresis across all tiers instead
-    #: of preferring one.
-    tier_agnostic = False
 
     def __init__(
         self,
         speed_threshold: float = 15.0,
         demand_threshold: float = 200e3,
     ) -> None:
-        if speed_threshold <= 0:
-            raise ValueError("speed_threshold must be positive")
-        self.speed_threshold = speed_threshold
-        self.demand_threshold = demand_threshold
-
-    def preferred_tier(self, factors: HandoffFactors) -> Tier:
-        return self.tier_preference(factors)[0]
-
-    def tier_preference(self, factors: HandoffFactors) -> list[Tier]:
-        """Tiers best-first for these factors.
-
-        Fast mobiles: macro first (fewest handoffs).  Slow mobiles with
-        high bandwidth demand: smallest cell first (pico offers the most
-        per-user bandwidth, then micro).  Everyone else: micro first,
-        pico as a local bonus, macro as overflow.
-        """
-        if factors.speed >= self.speed_threshold:
-            return [Tier.MACRO, Tier.MICRO, Tier.PICO]
-        if factors.bandwidth_demand >= self.demand_threshold:
-            return [Tier.PICO, Tier.MICRO, Tier.MACRO]
-        return [Tier.MICRO, Tier.PICO, Tier.MACRO]
-
-    def order_candidates(
-        self, candidates: list[Candidate], factors: HandoffFactors
-    ) -> list[Candidate]:
-        """Best-first list of stations to ask, never empty-handed: the
-        non-preferred tiers follow as overflow."""
-        preference = self.tier_preference(factors)
-        return sorted(
-            candidates,
-            key=lambda c: (preference.index(c.tier), -c.rss_dbm),
+        super().__init__(
+            speed_threshold=speed_threshold,
+            demand_threshold=demand_threshold,
+            mode="speed-aware",
         )
 
 
-class AlwaysStrongestPolicy(TierSelectionPolicy):
+class AlwaysStrongestPolicy(TierDecider):
     """Baseline for the E9 ablation: ignore speed/demand, chase signal.
 
     At street level a nearby micro cell usually beats the off-street
     macro tower, so this policy drags even vehicles through the micro
-    cells and pays the handoff churn.
+    cells and pays the handoff churn.  Equivalent to
+    ``TierDecider(mode="always-strongest")``.
     """
 
     tier_agnostic = True
 
-    def order_candidates(
-        self, candidates: list[Candidate], factors: HandoffFactors
-    ) -> list[Candidate]:
-        return sorted(candidates, key=lambda c: -c.rss_dbm)
+    def __init__(
+        self,
+        speed_threshold: float = 15.0,
+        demand_threshold: float = 200e3,
+    ) -> None:
+        super().__init__(
+            speed_threshold=speed_threshold,
+            demand_threshold=demand_threshold,
+            mode="always-strongest",
+        )
 
 
-class AlwaysMicroPolicy(TierSelectionPolicy):
-    """Baseline: micro tier whenever audible, macro only as overflow."""
+class AlwaysMicroPolicy(TierDecider):
+    """Baseline: micro tier whenever audible, macro only as overflow.
 
-    def tier_preference(self, factors: HandoffFactors) -> list[Tier]:
-        return [Tier.MICRO, Tier.PICO, Tier.MACRO]
+    Equivalent to ``TierDecider(mode="always-micro")``.
+    """
+
+    def __init__(
+        self,
+        speed_threshold: float = 15.0,
+        demand_threshold: float = 200e3,
+    ) -> None:
+        super().__init__(
+            speed_threshold=speed_threshold,
+            demand_threshold=demand_threshold,
+            mode="always-micro",
+        )
 
 
-class AlwaysMacroPolicy(TierSelectionPolicy):
-    """Baseline: macro tier whenever audible (flat wide-area network)."""
+class AlwaysMacroPolicy(TierDecider):
+    """Baseline: macro tier whenever audible (flat wide-area network).
 
-    def tier_preference(self, factors: HandoffFactors) -> list[Tier]:
-        return [Tier.MACRO, Tier.MICRO, Tier.PICO]
+    Equivalent to ``TierDecider(mode="always-macro")``.
+    """
+
+    def __init__(
+        self,
+        speed_threshold: float = 15.0,
+        demand_threshold: float = 200e3,
+    ) -> None:
+        super().__init__(
+            speed_threshold=speed_threshold,
+            demand_threshold=demand_threshold,
+            mode="always-macro",
+        )
+
+
+__all__ = [
+    "AlwaysMacroPolicy",
+    "AlwaysMicroPolicy",
+    "AlwaysStrongestPolicy",
+    "Candidate",
+    "HandoffFactors",
+    "TierSelectionPolicy",
+]

@@ -28,6 +28,20 @@ Semantics
   detaches it, cancelling any airtime the departed mobile still had
   queued there (those packets are air-interface losses, counted in
   ``Link.stats.dropped_error`` and :attr:`ChannelStats.dropped_on_detach`).
+* **Admission control** (off by default): a channel built with an
+  ``admission_factor`` tracks each claim's declared bandwidth demand
+  and :meth:`SharedChannel.admit` rejects a newcomer whose demand
+  would push the cell's committed load past
+  ``admission_factor * downlink budget`` — the §3.2 "resources of BS"
+  factor, surfaced by the base station as a handoff rejection that
+  makes the mobile "turn to ask" the next tier.
+* **Weighted airtime shares** (off by default): a channel built with
+  ``weighted=True`` replaces FIFO with start-time fair queueing —
+  each transmission is stamped with a virtual finish tag grown at
+  ``size * 8 / weight`` (weight = the mobile's claimed demand, floored
+  at :data:`MIN_AIRTIME_WEIGHT`), and the arbiter grants the smallest
+  tag first, so heavy claimants get proportionally more airtime
+  without starving light ones.
 
 Legacy mode: a link built with ``shared_channel=None`` (the default
 everywhere) keeps the historic per-link transmitter, byte-identical to
@@ -60,6 +74,11 @@ DOWNLINK = "downlink"
 UPLINK = "uplink"
 DIRECTIONS = (DOWNLINK, UPLINK)
 
+#: Floor (bit/s) for a mobile's weighted-airtime weight, so claims of
+#: zero declared demand (signalling-only mobiles) still make progress
+#: under weighted fair queueing instead of growing unbounded tags.
+MIN_AIRTIME_WEIGHT = 8e3
+
 
 def airtime_key(node) -> int:
     """The deterministic tie-breaking key for ``node``'s transmissions.
@@ -77,21 +96,36 @@ def airtime_key(node) -> int:
 class _AirtimeRequest(Request):
     """One queued transmission: a claim on a channel direction's server.
 
-    Sorts by ``(submission time, mobile key)`` — FIFO across time,
-    mobile-index tie-break within one simulation instant (the resource's
-    own counter breaks any remaining tie in submission order).
+    FIFO channels sort by ``(submission time, mobile key)`` — FIFO
+    across time, mobile-index tie-break within one simulation instant
+    (the resource's own counter breaks any remaining tie in submission
+    order).  Weighted channels stamp a virtual finish ``tag`` (start-
+    time fair queueing) that sorts ahead of submission time, so the
+    smallest tag is granted first.
     """
 
-    __slots__ = ("key", "link", "packet")
+    __slots__ = ("key", "link", "packet", "tag")
 
-    def __init__(self, resource: "Resource", key: int, link: "Link", packet: "Packet"):
+    def __init__(
+        self,
+        resource: "Resource",
+        key: int,
+        link: "Link",
+        packet: "Packet",
+        tag: Optional[float] = None,
+    ):
+        # All sort fields must exist before Request.__init__, whose
+        # final step enqueues this request via _key().
         self.key = key
         self.link = link
         self.packet = packet
+        self.tag = tag
         super().__init__(resource)
 
     def _key(self) -> tuple:
-        return (self.time, self.key)
+        if self.tag is None:
+            return (self.time, self.key)
+        return (self.tag, self.time, self.key)
 
 
 class _AirtimeServer(Resource):
@@ -167,19 +201,43 @@ class SharedChannel:
         link attached to the cell's base station serializes through
         these two single-server FIFO queues instead of its private
         ``bandwidth``.
+    admission_factor:
+        ``None`` (default) admits everyone — the historical
+        never-reject behavior.  A positive number enables admission
+        control: :meth:`admit` rejects a newcomer whose declared
+        demand would push the sum of claimed demands past
+        ``admission_factor * downlink_bps``.
+    weighted:
+        ``False`` (default) arbitrates FIFO.  ``True`` enables
+        weighted airtime shares (start-time fair queueing) with each
+        mobile weighted by its claimed demand.
     """
 
     def __init__(
-        self, sim: "Simulator", name: str, downlink_bps: float, uplink_bps: float
+        self,
+        sim: "Simulator",
+        name: str,
+        downlink_bps: float,
+        uplink_bps: float,
+        admission_factor: Optional[float] = None,
+        weighted: bool = False,
     ) -> None:
         if downlink_bps <= 0 or uplink_bps <= 0:
             raise ValueError(
                 f"channel budgets must be positive, got "
                 f"downlink={downlink_bps}, uplink={uplink_bps}"
             )
+        if admission_factor is not None and admission_factor <= 0:
+            raise ValueError(
+                f"admission_factor must be positive, got {admission_factor}"
+            )
         self.sim = sim
         self.name = name
         self.rates = {DOWNLINK: float(downlink_bps), UPLINK: float(uplink_bps)}
+        self.admission_factor = (
+            float(admission_factor) if admission_factor is not None else None
+        )
+        self.weighted = bool(weighted)
         self._servers = {
             DOWNLINK: _AirtimeServer(sim),
             UPLINK: _AirtimeServer(sim),
@@ -191,7 +249,19 @@ class SharedChannel:
         }
         #: Mobile keys currently holding an airtime claim here.
         self.attached: set[int] = set()
+        #: key -> declared bandwidth demand (bit/s) of each claim; the
+        #: admission bookkeeping and the weighted-share weights.
+        self.claims: dict[int, float] = {}
         self.total_attaches = 0
+        #: Newcomers turned away by :meth:`admit` over the whole run.
+        self.admission_rejects = 0
+        # Start-time fair queueing state (weighted mode only):
+        # per-direction virtual time and each key's last finish tag.
+        self._vtime = {DOWNLINK: 0.0, UPLINK: 0.0}
+        self._last_finish: dict[str, dict[int, float]] = {
+            DOWNLINK: {},
+            UPLINK: {},
+        }
         self.stats = ChannelStats()
 
     def __repr__(self) -> str:
@@ -205,16 +275,41 @@ class SharedChannel:
     # ------------------------------------------------------------------
     # Airtime claims (the per-mobile attachment, migrated on handoff)
     # ------------------------------------------------------------------
-    def attach(self, key: int) -> None:
+    def attach(self, key: int, demand: float = 0.0) -> None:
         """Register mobile ``key``'s airtime claim on this channel.
 
         Called by the base station when it creates the radio link pair;
         during make-before-break / semisoft handoff a mobile briefly
-        holds claims on both the old and the new cell.  Idempotent.
+        holds claims on both the old and the new cell.  ``demand`` is
+        the claim's declared bandwidth demand (bit/s) — the admission
+        bookkeeping and, in weighted mode, the mobile's airtime weight.
+        Idempotent (a re-attach keeps the existing claim).
         """
         if key not in self.attached:
             self.attached.add(key)
+            self.claims[key] = float(demand)
             self.total_attaches += 1
+
+    def admit(self, key: int, demand: float) -> bool:
+        """Would this channel accept a claim of ``demand`` bit/s?
+
+        Pure capacity check — no state changes besides counting the
+        rejection.  Always ``True`` with admission control off
+        (``admission_factor=None``).  Otherwise ``key`` is admitted
+        only while the other claims' committed demand plus its own
+        stays within ``admission_factor * downlink budget`` (the §3.2
+        "resources of BS" factor).  The asker's own claim is excluded
+        from the committed sum because a handing-off mobile attaches a
+        signalling claim here *before* asking — the check evaluates
+        the cell as if that claim were replaced by ``demand``.
+        """
+        if self.admission_factor is None:
+            return True
+        committed = sum(d for k, d in self.claims.items() if k != key)
+        if committed + float(demand) <= self.admission_factor * self.rates[DOWNLINK]:
+            return True
+        self.admission_rejects += 1
+        return False
 
     def detach(self, key: int) -> None:
         """Drop mobile ``key``'s claim and cancel its queued airtime.
@@ -226,6 +321,9 @@ class SharedChannel:
         — exactly like a packet in flight on a legacy link.  Idempotent.
         """
         self.attached.discard(key)
+        self.claims.pop(key, None)
+        for direction in DIRECTIONS:
+            self._last_finish[direction].pop(key, None)
         for direction in DIRECTIONS:
             keep: list[_AirtimeRequest] = []
             for request in self._waiting[direction]:
@@ -249,13 +347,27 @@ class SharedChannel:
 
         The link has already accepted the packet (queue-limit and
         up/down checks are the link's); the channel grants airtime FIFO
-        with the (time, key) tie-break and calls back into the link to
+        with the (time, key) tie-break — or smallest virtual finish tag
+        first in weighted mode — and calls back into the link to
         schedule propagation once serialization finishes.
         """
         direction = link.channel_direction
         self.stats.submitted[direction] += 1
+        tag = None
+        if self.weighted:
+            # Start-time fair queueing: the tag advances from the later
+            # of the direction's virtual time and this mobile's last
+            # finish tag, at a rate inverse to the mobile's weight.
+            key = link.channel_key
+            weight = max(self.claims.get(key, 0.0), MIN_AIRTIME_WEIGHT)
+            start = max(
+                self._vtime[direction],
+                self._last_finish[direction].get(key, 0.0),
+            )
+            tag = start + packet.size * 8.0 / weight
+            self._last_finish[direction][key] = tag
         request = _AirtimeRequest(
-            self._servers[direction], link.channel_key, link, packet
+            self._servers[direction], link.channel_key, link, packet, tag
         )
         self._waiting[direction].append(request)
         request.callbacks.append(self._granted)
@@ -265,6 +377,8 @@ class SharedChannel:
         request = event
         direction = request.link.channel_direction
         self._waiting[direction].remove(request)
+        if request.tag is not None and request.tag > self._vtime[direction]:
+            self._vtime[direction] = request.tag
         seconds = self.airtime(direction, request.packet)
         self.stats.granted[direction] += 1
         self.stats.busy_seconds[direction] += seconds
@@ -296,6 +410,9 @@ class ChannelPlan:
     budgets" from :data:`repro.radio.cells.TIER_DEFAULTS`; a number
     overrides the *downlink* budget for every cell of that tier, with
     the uplink budget derived as ``downlink * uplink_fraction``.
+    ``admission_factor`` and ``weighted`` are handed to every channel
+    the plan builds (see :class:`SharedChannel`); their defaults keep
+    the historical admit-everyone FIFO behavior.
 
     A plan only exists when contention is enabled at all —
     ``MultiTierWorld(channel_plan=None)`` (the default) builds legacy
@@ -306,6 +423,8 @@ class ChannelPlan:
     micro_bandwidth: Optional[float] = None
     pico_bandwidth: Optional[float] = None
     uplink_fraction: float = 0.5
+    admission_factor: Optional[float] = None
+    weighted: bool = False
 
     def __post_init__(self) -> None:
         for label in ("macro_bandwidth", "micro_bandwidth", "pico_bandwidth"):
@@ -315,6 +434,10 @@ class ChannelPlan:
         if not 0.0 < self.uplink_fraction <= 1.0:
             raise ValueError(
                 f"uplink_fraction must be in (0, 1], got {self.uplink_fraction}"
+            )
+        if self.admission_factor is not None and self.admission_factor <= 0:
+            raise ValueError(
+                f"admission_factor must be positive, got {self.admission_factor}"
             )
 
     def budgets(self, cell: Cell) -> tuple[float, float]:
@@ -331,12 +454,20 @@ class ChannelPlan:
     def channel_for(self, sim: "Simulator", cell: Cell) -> SharedChannel:
         """Build ``cell``'s :class:`SharedChannel` under this plan."""
         downlink, uplink = self.budgets(cell)
-        return SharedChannel(sim, f"air-{cell.name}", downlink, uplink)
+        return SharedChannel(
+            sim,
+            f"air-{cell.name}",
+            downlink,
+            uplink,
+            admission_factor=self.admission_factor,
+            weighted=self.weighted,
+        )
 
 
 __all__ = [
     "DIRECTIONS",
     "DOWNLINK",
+    "MIN_AIRTIME_WEIGHT",
     "UPLINK",
     "ChannelPlan",
     "ChannelStats",

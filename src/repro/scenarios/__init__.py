@@ -28,6 +28,7 @@ from repro.scenarios.builder import (
     build_scenario,
     roam_rectangle,
     run_scenario_spec,
+    run_scenario_trace,
 )
 from repro.scenarios.catalog import (
     describe_scenario,
@@ -91,6 +92,7 @@ __all__ = [
     "roam_rectangle",
     "run_scenario",
     "run_scenario_spec",
+    "run_scenario_trace",
     "scenario_names",
     "sweep_names",
     "sweep_scenario",

@@ -71,9 +71,28 @@ def run_scenario_spec(spec: ScenarioSpec, seed: int) -> dict[str, float]:
     return build_scenario(spec, seed).execute()
 
 
+def run_scenario_trace(spec: ScenarioSpec, seed: int):
+    """Run one ``(spec, seed)`` pair and keep its decision trace.
+
+    Returns ``(metrics, trace)`` where ``trace`` is the world's
+    :class:`~repro.policy.trace.DecisionTrace` (the per-world ring
+    buffer every tier decision and fallback is recorded into) for
+    stacks whose world carries one — the multi-tier stack — and
+    ``None`` for flat baselines, which make no tier decisions.  The
+    metric dict is byte-identical to :func:`run_scenario_spec` for the
+    same pair; tracing is observation, not behavior.  Deterministic:
+    the trace replays identically for one ``(spec, seed)``.
+    """
+    built = build_scenario(spec, seed)
+    metrics = built.execute()
+    world = getattr(built, "world", None)
+    return metrics, getattr(world, "decision_trace", None)
+
+
 __all__ = [
     "BuiltScenario",
     "build_scenario",
     "roam_rectangle",
     "run_scenario_spec",
+    "run_scenario_trace",
 ]

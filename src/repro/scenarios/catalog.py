@@ -191,6 +191,16 @@ def describe_scenario(scenario: Union[str, ScenarioSpec]) -> str:
             f"{key}={value!r}" for key, value in spec.domain_overrides.items()
         )
         lines.append(f"  domain overrides {overrides}")
+    if not spec.policy.is_default():
+        knobs = [f"mode={spec.policy.mode}"]
+        knobs.append(f"speed_threshold={spec.policy.speed_threshold:g}")
+        if spec.policy.demand_threshold is not None:
+            knobs.append(f"demand_threshold={spec.policy.demand_threshold:g}")
+        if spec.policy.admission_factor is not None:
+            knobs.append(f"admission_factor={spec.policy.admission_factor:g}")
+        if spec.policy.weighted_airtime:
+            knobs.append("weighted_airtime=on")
+        lines.append(f"  policy           {', '.join(knobs)}")
     # Protocol stacks: every registered adapter can run any catalog
     # scenario; list which adapter surface this spec exercises under
     # each, so `--stack <name|all>` choices are discoverable here.

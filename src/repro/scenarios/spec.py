@@ -23,6 +23,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
+from repro.policy.config import PolicyConfig
+
 #: Mobility model keys a spec may apportion the population across.
 MOBILITY_MODELS: dict[str, str] = {
     "stationary": "parked/idle hosts that never move",
@@ -145,9 +147,19 @@ class ScenarioSpec:
         The protocol stack the scenario runs under: the name of a
         registered :class:`~repro.stacks.base.StackAdapter`
         (``"multitier"``, the default and byte-identity-pinned legacy
-        path; ``"cellularip"``; ``"mobileip"``).  Validated against the
-        registry at construction, so a typo fails eagerly with the
-        registered names listed.
+        path; ``"cellularip"``; ``"cellularip-hard"``; ``"mobileip"``).
+        Validated against the registry at construction, so a typo
+        fails eagerly with the registered names listed.
+    policy:
+        The tier-selection policy block, a
+        :class:`~repro.policy.config.PolicyConfig` (a plain mapping is
+        coerced).  The default block reproduces the historical
+        hardcoded thresholds byte-identically and emits no ``policy.*``
+        metrics; any non-default block makes the multi-tier stack
+        record its decision trace into the metrics.  The air-interface
+        knobs (``admission_factor``, ``weighted_airtime``) require
+        shared channels (:meth:`channels_enabled`).  Numeric fields are
+        sweepable as ``policy.<field>`` axes.
     notes:
         Free text shown by ``repro scenario describe``.
     """
@@ -171,6 +183,7 @@ class ScenarioSpec:
     drain: float = 3.0
     domain_overrides: Mapping[str, object] = field(default_factory=dict)
     stack: str = "multitier"
+    policy: PolicyConfig = field(default_factory=PolicyConfig)
     notes: str = ""
 
     def __post_init__(self) -> None:
@@ -228,6 +241,24 @@ class ScenarioSpec:
                 f"{self.name}: unknown stack {self.stack!r}; "
                 f"registered: {', '.join(stack_names())}"
             )
+        if isinstance(self.policy, Mapping):
+            object.__setattr__(self, "policy", PolicyConfig(**dict(self.policy)))
+        if not isinstance(self.policy, PolicyConfig):
+            raise ValueError(
+                f"{self.name}: policy must be a PolicyConfig or mapping, "
+                f"got {self.policy!r}"
+            )
+        if not self.channels_enabled():
+            if self.policy.admission_factor is not None:
+                raise ValueError(
+                    f"{self.name}: policy.admission_factor requires shared "
+                    f"channels (set a channel bandwidth)"
+                )
+            if self.policy.weighted_airtime:
+                raise ValueError(
+                    f"{self.name}: policy.weighted_airtime requires shared "
+                    f"channels (set a channel bandwidth)"
+                )
 
     # ------------------------------------------------------------------
     def mobility_counts(self) -> dict[str, int]:

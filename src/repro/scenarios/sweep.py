@@ -51,10 +51,20 @@ from repro.scenarios.spec import ScenarioSpec
 #: (merged, not replaced wholesale) instead of a top-level spec field.
 OVERRIDE_PREFIX = "domain_overrides."
 
+#: Axis prefix selecting a numeric field inside ``ScenarioSpec.policy``
+#: (rebound via ``dataclasses.replace`` on the policy block, preserving
+#: its other knobs) — e.g. ``policy.speed_threshold``.
+POLICY_PREFIX = "policy."
+
+#: ``PolicyConfig`` fields a ``policy.<field>`` axis may target (the
+#: numeric knobs; ``mode`` and ``weighted_airtime`` are not numbers).
+_POLICY_KEYS = {"speed_threshold", "demand_threshold", "admission_factor"}
+
 #: Spec fields that cannot be swept: identity/documentation fields, the
 #: seed list (the sweep controls seeds itself), the overrides mapping
-#: as a whole (sweep one key via ``domain_overrides.<key>``) and the
-#: non-scalar fields (mixes, roam rectangle) a numeric axis cannot
+#: as a whole (sweep one key via ``domain_overrides.<key>``), the
+#: policy block as a whole (sweep one knob via ``policy.<field>``) and
+#: the non-scalar fields (mixes, roam rectangle) a numeric axis cannot
 #: rebind.
 _UNSWEEPABLE = {
     "name",
@@ -62,6 +72,7 @@ _UNSWEEPABLE = {
     "notes",
     "seeds",
     "domain_overrides",
+    "policy",
     "mobility_mix",
     "traffic_mix",
     "roam",
@@ -187,6 +198,17 @@ class ScenarioSweep:
                     f"{self.name}: unknown domain override key {key!r}; "
                     f"known: {', '.join(sorted(_OVERRIDE_KEYS))}"
                 )
+        elif self.field.startswith(POLICY_PREFIX):
+            key = self.field[len(POLICY_PREFIX):]
+            if not key:
+                raise ValueError(
+                    f"{self.name}: empty policy key in field {self.field!r}"
+                )
+            if key not in _POLICY_KEYS:
+                raise ValueError(
+                    f"{self.name}: unknown policy key {key!r}; "
+                    f"known: {', '.join(sorted(_POLICY_KEYS))}"
+                )
         elif self.field in _UNSWEEPABLE:
             raise ValueError(
                 f"{self.name}: field {self.field!r} cannot be swept"
@@ -194,19 +216,21 @@ class ScenarioSweep:
         elif self.field not in _SPEC_FIELDS:
             raise ValueError(
                 f"{self.name}: unknown ScenarioSpec field {self.field!r}; "
-                f"sweepable: {', '.join(sorted(_SPEC_FIELDS - _UNSWEEPABLE))} "
-                f"or {OVERRIDE_PREFIX}<key>"
+                f"sweepable: {', '.join(sorted(_SPEC_FIELDS - _UNSWEEPABLE))}, "
+                f"{OVERRIDE_PREFIX}<key> or {POLICY_PREFIX}<key>"
             )
 
     # ------------------------------------------------------------------
     def axis_label(self) -> str:
         """The x-axis label used in tables and figures.
 
-        Returns the bare override key for ``domain_overrides.<key>``
-        axes and the spec field name otherwise.
+        Returns the bare key for ``domain_overrides.<key>`` and
+        ``policy.<key>`` axes and the spec field name otherwise.
         """
         if self.field.startswith(OVERRIDE_PREFIX):
             return self.field[len(OVERRIDE_PREFIX):]
+        if self.field.startswith(POLICY_PREFIX):
+            return self.field[len(POLICY_PREFIX):]
         return self.field
 
     def derive(self, base: ScenarioSpec, value) -> ScenarioSpec:
@@ -219,13 +243,17 @@ class ScenarioSweep:
         the sweep name and offending value attached.  Integer fields
         (``population``, ``pico_cells``, ...) accept integral floats.
         ``domain_overrides.<key>`` axes merge into the base overrides
-        mapping, preserving its other keys.
+        mapping, preserving its other keys; ``policy.<key>`` axes
+        rebind one knob of the base policy block, preserving the rest.
         """
+        override_key = policy_key = None
         if self.field.startswith(OVERRIDE_PREFIX):
-            key = self.field[len(OVERRIDE_PREFIX):]
-            integral = key in _INT_OVERRIDE_KEYS
+            override_key = self.field[len(OVERRIDE_PREFIX):]
+            integral = override_key in _INT_OVERRIDE_KEYS
+        elif self.field.startswith(POLICY_PREFIX):
+            policy_key = self.field[len(POLICY_PREFIX):]
+            integral = False  # every sweepable policy knob is a float
         else:
-            key = None
             integral = self.field in _INT_FIELDS
         if integral:
             if float(value) != int(value):
@@ -234,13 +262,19 @@ class ScenarioSweep:
                     f"got {value!r}"
                 )
             value = int(value)
-        if key is not None:
-            overrides = dict(base.domain_overrides)
-            overrides[key] = value
-            changes = {"domain_overrides": overrides}
-        else:
-            changes = {self.field: value}
         try:
+            if override_key is not None:
+                overrides = dict(base.domain_overrides)
+                overrides[override_key] = value
+                changes = {"domain_overrides": overrides}
+            elif policy_key is not None:
+                changes = {
+                    "policy": dataclasses.replace(
+                        base.policy, **{policy_key: float(value)}
+                    )
+                }
+            else:
+                changes = {self.field: value}
             return base.replace(**changes)
         except ValueError as error:
             raise ValueError(
@@ -654,6 +688,22 @@ register_sweep(ScenarioSweep(
 ))
 
 register_sweep(ScenarioSweep(
+    name="city-rush-hour/speed-threshold",
+    scenario="city-rush-hour",
+    field="policy.speed_threshold",
+    values=(5.0, 10.0, 25.0, 40.0),
+    metrics=("handoffs", "policy.decisions", "policy.better_tier",
+             "policy.signal_hysteresis"),
+    description="policy axis: macro/micro speed threshold of the "
+    "three-factor tier decider",
+    notes="Lowering the threshold below commuter speeds parks fast "
+    "mobiles on the macro umbrella (fewer, larger cells to cross); "
+    "raising it keeps them on micros and multiplies handoffs.  Every "
+    "point is a non-default policy, so the per-reason policy.* "
+    "decision counters are emitted alongside the handoff totals.",
+))
+
+register_sweep(ScenarioSweep(
     name="sparse-rural/population",
     scenario="sparse-rural",
     field="population",
@@ -679,6 +729,7 @@ register_sweep(ScenarioSweep(
 
 __all__ = [
     "OVERRIDE_PREFIX",
+    "POLICY_PREFIX",
     "ScenarioSweep",
     "describe_sweep",
     "effective_sweep",

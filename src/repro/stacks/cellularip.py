@@ -347,11 +347,43 @@ class CellularIPStack(StackAdapter):
         return features
 
 
+class CellularIPHardStack(CellularIPStack):
+    """Flat Cellular IP with hard (break-then-make) handoff.
+
+    The weaker CIP variant: the route update follows an instantaneous
+    radio switch, with no dual-path interval and no duplicate
+    suppression — downlink packets in flight on the stale branch are
+    lost.  Same world, geometry and metric namespace as the semisoft
+    adapter, so ``--stack all`` comparisons isolate the handoff
+    mechanism itself.
+    """
+
+    name = "cellularip-hard"
+    description = (
+        "flat Cellular IP baseline with hard (break-then-make) "
+        "handoff: no semisoft dual-path interval"
+    )
+
+    def build(self, spec: ScenarioSpec, seed: int) -> BuiltCIPScenario:
+        """Assemble the flat CIP world with hard handoff."""
+        return build_cip_scenario(spec, seed, semisoft=False)
+
+    def exercised(self, spec: ScenarioSpec) -> list[str]:
+        """Adapter features ``spec`` exercises under hard-handoff CIP."""
+        features = super().exercised(spec)
+        features[features.index(
+            "soft-state route/paging caches + semisoft handoff"
+        )] = "soft-state route/paging caches + hard handoff"
+        return features
+
+
 register_stack(CellularIPStack())
+register_stack(CellularIPHardStack())
 
 __all__ = [
     "MOBILE_PREFIX",
     "BuiltCIPScenario",
+    "CellularIPHardStack",
     "CellularIPStack",
     "build_cip_scenario",
 ]

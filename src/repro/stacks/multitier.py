@@ -27,8 +27,8 @@ from typing import TYPE_CHECKING
 
 from repro.multitier.architecture import MobilityController, MultiTierWorld
 from repro.multitier.mobile import MultiTierMobileNode
-from repro.multitier.policy import TierSelectionPolicy
 from repro.net.packet import Packet
+from repro.policy.decider import TierDecider
 from repro.radio.channel import ChannelPlan
 from repro.sim.rng import RandomStreams
 
@@ -154,6 +154,12 @@ class BuiltScenario:
                     for ch in channels
                 )
             )
+        if not spec.policy.is_default():
+            # Non-default policy block only: the fixed policy.* key set
+            # from the world's decision trace.  Gated so default runs —
+            # including the contention-mode goldens — keep their table
+            # shape byte-identical.
+            metrics.update(self.world.decision_trace.metric_counts())
         return metrics
 
 
@@ -191,6 +197,8 @@ def build_multitier_scenario(spec: ScenarioSpec, seed: int) -> BuiltScenario:
         channel_plan = ChannelPlan(
             macro_bandwidth=spec.macro_channel_bandwidth,
             pico_bandwidth=spec.pico_channel_bandwidth,
+            admission_factor=spec.policy.admission_factor,
+            weighted=spec.policy.weighted_airtime,
         )
     world = MultiTierWorld(
         second_domain=spec.domains == 2,
@@ -222,13 +230,12 @@ def build_multitier_scenario(spec: ScenarioSpec, seed: int) -> BuiltScenario:
     world.cn.on_protocol("ack", ack_dispatcher)
 
     # Under a shared air interface any slow, traffic-bearing mobile
-    # benefits from a covering pico's fat shared budget, so the tier
-    # policy's pico preference applies to every positive demand (with
-    # per-user dedicated radios only heavy elastic users did).
-    contention_policy = (
-        TierSelectionPolicy(demand_threshold=1.0)
-        if channel_plan is not None
-        else None
+    # benefits from a covering pico's fat shared budget, so the default
+    # policy block resolves its demand threshold to 1 bit/s in
+    # contention mode (200 kbit/s with per-user dedicated radios) —
+    # the historical stack defaults, byte-identical.
+    policy = TierDecider.from_config(
+        spec.policy, contention=channel_plan is not None
     )
     mobiles: list[MultiTierMobileNode] = []
     controllers: list[MobilityController] = []
@@ -248,7 +255,7 @@ def build_multitier_scenario(spec: ScenarioSpec, seed: int) -> BuiltScenario:
                 mobile,
                 model,
                 sample_period=spec.sample_period,
-                policy=contention_policy,
+                policy=policy,
             )
         )
         mobiles.append(mobile)
@@ -330,6 +337,18 @@ class MultiTierStack(StackAdapter):
                 "domain overrides: "
                 + ", ".join(sorted(spec.domain_overrides))
             )
+        if not spec.policy.is_default():
+            features.append(
+                f"non-default policy block (mode={spec.policy.mode}, "
+                f"policy.* metrics + decision trace)"
+            )
+        if spec.policy.admission_factor is not None:
+            features.append(
+                "air-interface admission control "
+                f"(factor {spec.policy.admission_factor:g})"
+            )
+        if spec.policy.weighted_airtime:
+            features.append("weighted airtime shares (demand-proportional)")
         return features
 
 

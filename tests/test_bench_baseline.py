@@ -1,0 +1,67 @@
+"""Shape tests for the committed benchmark baseline (S3).
+
+``benchmarks/BENCH_kernel.json`` is collected by
+``tools/update_bench_baseline.py`` from the kernel-throughput and
+per-stack scenario benches.  Timings are machine-dependent and NOT
+pinned; these tests pin the *shape* — the file parses, carries the
+schema, passes the tool's own ``--check`` validation, and covers every
+kernel bench plus one per-stack entry for every registered protocol
+stack (so registering a new stack without re-collecting the baseline
+fails here, eagerly).
+"""
+
+import importlib.util
+import json
+import pathlib
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+BASELINE = REPO / "benchmarks" / "BENCH_kernel.json"
+
+
+def _load_tool():
+    spec = importlib.util.spec_from_file_location(
+        "update_bench_baseline", REPO / "tools" / "update_bench_baseline.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_baseline_exists_and_passes_shape_check():
+    tool = _load_tool()
+    baseline = json.loads(BASELINE.read_text())
+    assert tool.check(baseline) == []
+
+
+def test_baseline_covers_kernel_and_every_stack():
+    from repro.stacks import stack_names
+
+    entries = json.loads(BASELINE.read_text())["entries"]
+    for name in (
+        "test_bench_kernel_event_throughput",
+        "test_bench_kernel_callback_throughput",
+        "test_bench_packet_forwarding_throughput",
+    ):
+        assert name in entries, f"kernel bench {name} missing from baseline"
+    for stack in stack_names():
+        key = f"test_bench_scenario_stack_smoke[{stack}]"
+        assert key in entries, (
+            f"stack {stack!r} has no baseline entry; re-run "
+            f"tools/update_bench_baseline.py"
+        )
+
+
+def test_merge_preserves_unrelated_entries():
+    tool = _load_tool()
+    baseline = {
+        "schema": tool.SCHEMA,
+        "entries": {"old_bench": {"file": "x.py", "stats": {}}},
+    }
+    collected = {
+        "machine": "m",
+        "datetime": "d",
+        "entries": {"new_bench": {"file": "y.py", "stats": {}}},
+    }
+    merged = tool.merge(baseline, collected)
+    assert set(merged["entries"]) == {"old_bench", "new_bench"}
+    assert merged["schema"] == tool.SCHEMA

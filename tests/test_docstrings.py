@@ -1,7 +1,7 @@
 """Docs-debt guard: the public API must stay documented.
 
-Walks ``__all__`` of the scenario subsystem, the execution engine, and
-the radio and mobility packages (their public APIs are the package
+Walks ``__all__`` of the scenario subsystem, the execution engine, the
+policy engine, and the radio and mobility packages (their public APIs are the package
 ``__init__`` exports plus the shared-channel module) and asserts every
 exported callable/class (and every public method defined on an
 exported class) carries a real docstring, and that each module states
@@ -15,6 +15,11 @@ import pytest
 
 import repro.experiments.exec
 import repro.mobility
+import repro.policy
+import repro.policy.config
+import repro.policy.decider
+import repro.policy.trace
+import repro.policy.types
 import repro.radio
 import repro.radio.channel
 import repro.scenarios.builder
@@ -38,6 +43,11 @@ MODULES = [
     repro.scenarios.compare,
     repro.scenarios.sweep,
     repro.experiments.exec,
+    repro.policy,
+    repro.policy.config,
+    repro.policy.decider,
+    repro.policy.trace,
+    repro.policy.types,
     repro.radio,
     repro.radio.channel,
     repro.mobility,

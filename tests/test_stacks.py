@@ -42,7 +42,7 @@ needs_fork = pytest.mark.skipif(not HAS_FORK, reason="platform lacks fork")
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
-BASELINES = ["cellularip", "mobileip"]
+BASELINES = ["cellularip", "cellularip-hard", "mobileip"]
 ALL_STACKS = [DEFAULT_STACK] + BASELINES
 
 
@@ -53,14 +53,16 @@ def _smoke(name="campus-dense", stack=DEFAULT_STACK):
 # ----------------------------------------------------------------------
 # Registry + spec validation
 # ----------------------------------------------------------------------
-def test_three_stacks_registered_in_order():
+def test_four_stacks_registered_in_order():
     assert stack_names() == ALL_STACKS
     for adapter in iter_stacks():
         assert adapter.name and adapter.description
 
 
 def test_get_stack_unknown_lists_registered_names():
-    with pytest.raises(KeyError, match="multitier, cellularip, mobileip"):
+    with pytest.raises(
+        KeyError, match="multitier, cellularip, cellularip-hard, mobileip"
+    ):
         get_stack("hawaii")
 
 
@@ -103,7 +105,10 @@ def test_stack_emits_common_metrics_as_plain_floats(stack):
     assert metrics["sent"] > 0
 
 
-@pytest.mark.parametrize("stack,prefix", [("cellularip", "cip."), ("mobileip", "mip.")])
+@pytest.mark.parametrize(
+    "stack,prefix",
+    [("cellularip", "cip."), ("cellularip-hard", "cip."), ("mobileip", "mip.")],
+)
 def test_baseline_extras_are_namespaced(stack, prefix):
     metrics = run_scenario_spec(_smoke(stack=stack), seed=1)
     namespaced = [name for name in metrics if name.startswith(prefix)]
@@ -404,7 +409,8 @@ def test_cli_sweep_stack_all_runs_every_stack(capsys):
     assert main(argv) == 0
     out = capsys.readouterr().out
     assert "[stack=cellularip]" in out and "[stack=mobileip]" in out
-    assert "[3 sweeps completed" in out.splitlines()[-1] or "3 sweeps" in out
+    assert "[stack=cellularip-hard]" in out
+    assert "[4 sweeps completed" in out.splitlines()[-1] or "4 sweeps" in out
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,145 @@
+"""Collect kernel/stack benchmark timings into ``benchmarks/BENCH_kernel.json``.
+
+The committed baseline gives bench history a fixed reference point: it
+records, per benchmark, the timing stats of the last collection run
+plus enough shape metadata (rounds, parametrization) that a regression
+check can tell "the bench changed" from "the machine changed".
+
+Usage::
+
+    PYTHONPATH=src python tools/update_bench_baseline.py            # collect + merge
+    PYTHONPATH=src python tools/update_bench_baseline.py --check    # shape check only
+
+Collect mode runs the kernel-throughput and per-stack scenario benches
+under ``pytest-benchmark --benchmark-json``, reduces each benchmark to
+a small stats record and **merges** it into the baseline: entries for
+benchmarks that ran are replaced, entries for benchmarks that did not
+run (e.g. collecting on a subset) are preserved, and the result is
+written with sorted keys so diffs stay minimal.  ``--check`` validates
+the committed file's shape without running anything (used by the test
+suite): it must parse, carry the schema version, and every entry must
+have the numeric stats fields.
+
+Timings are machine-dependent by nature; the baseline records them for
+trend reading, while the *shape* (which benchmarks exist, how they are
+parametrized) is the part tests pin.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+BASELINE = REPO / "benchmarks" / "BENCH_kernel.json"
+
+#: The bench files collected into the baseline.
+BENCH_FILES = (
+    "benchmarks/bench_kernel_throughput.py",
+    "benchmarks/bench_scenario_stacks.py",
+)
+
+SCHEMA = 1
+
+#: Per-benchmark stats copied from the pytest-benchmark report.
+_STAT_FIELDS = ("min", "max", "mean", "stddev", "rounds")
+
+
+def collect(files=BENCH_FILES) -> dict:
+    """Run ``files`` under pytest-benchmark and reduce the JSON report."""
+    with tempfile.TemporaryDirectory() as tmp:
+        report_path = pathlib.Path(tmp) / "bench.json"
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "pytest", "-q", *files,
+                f"--benchmark-json={report_path}",
+            ],
+            cwd=REPO,
+            env={**__import__("os").environ, "PYTHONPATH": "src"},
+        )
+        if proc.returncode != 0:
+            raise SystemExit(f"bench run failed (exit {proc.returncode})")
+        report = json.loads(report_path.read_text())
+    entries = {}
+    for bench in report["benchmarks"]:
+        stats = {field: bench["stats"][field] for field in _STAT_FIELDS}
+        entries[bench["name"]] = {
+            "file": bench["fullname"].split("::")[0],
+            "group": bench.get("group"),
+            "params": bench.get("params"),
+            "stats": stats,
+        }
+    return {
+        "machine": report.get("machine_info", {}).get("machine", ""),
+        "datetime": report.get("datetime", ""),
+        "entries": entries,
+    }
+
+
+def merge(baseline: dict, collected: dict) -> dict:
+    """New collection overrides matching entries, preserves the rest."""
+    entries = dict(baseline.get("entries", {}))
+    entries.update(collected["entries"])
+    return {
+        "schema": SCHEMA,
+        "machine": collected["machine"],
+        "datetime": collected["datetime"],
+        "entries": entries,
+    }
+
+
+def load_baseline(path: pathlib.Path = BASELINE) -> dict:
+    if path.exists():
+        return json.loads(path.read_text())
+    return {"schema": SCHEMA, "entries": {}}
+
+
+def check(baseline: dict) -> list[str]:
+    """Shape-validate a baseline dict; returns a list of problems."""
+    problems = []
+    if baseline.get("schema") != SCHEMA:
+        problems.append(f"schema must be {SCHEMA}, got {baseline.get('schema')!r}")
+    entries = baseline.get("entries")
+    if not isinstance(entries, dict) or not entries:
+        problems.append("entries must be a non-empty mapping")
+        return problems
+    for name, entry in entries.items():
+        stats = entry.get("stats", {})
+        for field in _STAT_FIELDS:
+            value = stats.get(field)
+            if not isinstance(value, (int, float)) or value != value:
+                problems.append(f"{name}: stats.{field} missing or non-numeric")
+        if not isinstance(entry.get("file"), str) or not entry["file"]:
+            problems.append(f"{name}: missing source file")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", action="store_true",
+        help="validate the committed baseline's shape without running benches",
+    )
+    args = parser.parse_args(argv)
+    if args.check:
+        problems = check(load_baseline())
+        for problem in problems:
+            print(f"BENCH_kernel.json: {problem}", file=sys.stderr)
+        print(
+            f"BENCH_kernel.json: "
+            f"{len(load_baseline().get('entries', {}))} entries, "
+            f"{'OK' if not problems else f'{len(problems)} problem(s)'}"
+        )
+        return 1 if problems else 0
+    merged = merge(load_baseline(), collect())
+    BASELINE.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {BASELINE.relative_to(REPO)} ({len(merged['entries'])} entries)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
