@@ -1,6 +1,16 @@
 """``python -m repro`` entry point."""
 
+import sys
+
 from repro.cli import main
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    try:
+        code = main()
+        sys.stdout.flush()
+    except BrokenPipeError:
+        # Downstream closed the pipe (e.g. `... | head`): exit quietly
+        # with the conventional SIGPIPE status instead of a traceback.
+        sys.stderr.close()
+        code = 141
+    raise SystemExit(code)

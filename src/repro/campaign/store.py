@@ -1,0 +1,247 @@
+"""The merged campaign results store and its re-aggregation views.
+
+When a campaign's last work item completes, the per-item records merge
+into one canonical ``results.json``: records sorted by item id, JSON
+keys sorted, schema-stamped, with the manifest digest pinned — the
+single artifact ``repro campaign diff`` consumes and the byte-identity
+contract is stated over.
+
+Integrity is checked eagerly at every boundary: merging refuses
+incomplete campaigns (naming the pending count), duplicate item ids,
+fingerprint drift against the manifest, and records for items the
+manifest never queued; loading a store re-validates schema, duplicate
+ids and record shape, so a hand-edited or truncated store fails with
+the problem named instead of producing silently wrong aggregates.
+
+Re-aggregation: :func:`store_replications` groups records per grid
+cell (same scenario/stack/sweep-point, seeds ascending) and reduces
+them with :func:`repro.experiments.runner.aggregate` — the exact
+reduction live runs use — so confidence intervals computed from a
+store equal the ones a live run would have printed.
+:func:`store_stack_comparisons` goes one step further and rebuilds
+:class:`~repro.scenarios.compare.StackComparison` tables for scenarios
+the campaign covered under several stacks.
+
+Determinism: merging, loading and re-aggregation are pure functions of
+the record contents; the store's bytes are independent of execution
+order, backend, batch size and crash/resume history.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Union
+
+from repro.experiments.runner import Replication, aggregate
+from repro.scenarios.catalog import get_scenario
+from repro.scenarios.compare import StackComparison, build_stack_comparison
+
+from repro.campaign.manifest import CampaignError, WorkItem
+from repro.campaign.queue import Campaign, _write_atomic
+
+#: Merged-store schema version, bumped on layout changes.
+STORE_SCHEMA = 1
+
+
+def merge_store(campaign: Campaign) -> dict:
+    """Merge a *completed* campaign's records into one store mapping.
+
+    Validates everything eagerly: every manifest item must have a
+    record (else the pending count is reported — run ``campaign
+    resume``), every record must parse, match its filename id, carry
+    metrics, and carry the fingerprint the manifest pinned for that
+    item; duplicates cannot arise from the filesystem but are guarded
+    against all the same.  Records are ordered by item id so the
+    result is canonical.  Deterministic: pure function of the records.
+    """
+    status = campaign.status()
+    if not status.done:
+        raise CampaignError(
+            f"campaign {campaign.manifest.name!r} has {status.pending} "
+            f"pending item(s); run 'repro campaign resume' before merging"
+        )
+    pinned = dict(zip(campaign.manifest.item_ids(), campaign.manifest.fingerprints))
+    records = []
+    seen: set[str] = set()
+    for item_id in sorted(pinned):
+        if item_id in seen:
+            raise CampaignError(f"duplicate item id {item_id!r} in manifest")
+        seen.add(item_id)
+        record = campaign.read_record(item_id)
+        if record.get("fingerprint") != pinned[item_id]:
+            raise CampaignError(
+                f"record {item_id!r}: spec fingerprint "
+                f"{record.get('fingerprint')!r} does not match the "
+                f"manifest's {pinned[item_id]!r} — the record was produced "
+                f"by a different spec; re-run the item (delete its record "
+                f"and 'campaign resume')"
+            )
+        records.append({
+            "item": record["item"],
+            "item_id": item_id,
+            "fingerprint": record["fingerprint"],
+            "metrics": record["metrics"],
+        })
+    return {
+        "schema": STORE_SCHEMA,
+        "campaign": campaign.manifest.name,
+        "manifest_digest": campaign.manifest.digest(),
+        "smoke": campaign.manifest.smoke,
+        "records": records,
+    }
+
+
+def write_store(campaign: Campaign) -> pathlib.Path:
+    """Merge and write ``results.json`` atomically; returns its path.
+
+    Canonical bytes: sorted record order, sorted JSON keys, trailing
+    newline — byte-identical for any execution history of the same
+    campaign (the crash/kill suite and the CI campaign smoke step
+    ``diff -r`` this).  Deterministic per the merge contract.
+    """
+    store = merge_store(campaign)
+    _write_atomic(
+        campaign.store_path,
+        json.dumps(store, indent=2, sort_keys=True) + "\n",
+    )
+    return campaign.store_path
+
+
+def load_store(path: Union[str, pathlib.Path]) -> dict:
+    """Load and validate a merged store from a file or campaign dir.
+
+    Accepts either the ``results.json`` path itself or a campaign
+    directory containing one.  Validates schema, record shape and
+    duplicate item ids eagerly (:class:`CampaignError` with the
+    problem named).  Deterministic: read-only.
+    """
+    path = pathlib.Path(path)
+    if path.is_dir():
+        path = path / "results.json"
+    if not path.exists():
+        raise CampaignError(
+            f"no merged store at {path}; finish the campaign "
+            f"('repro campaign resume') to produce one"
+        )
+    try:
+        store = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise CampaignError(f"{path} is not valid JSON: {error}") from None
+    if store.get("schema") != STORE_SCHEMA:
+        raise CampaignError(
+            f"{path}: store schema must be {STORE_SCHEMA}, "
+            f"got {store.get('schema')!r}"
+        )
+    records = store.get("records")
+    if not isinstance(records, list) or not records:
+        raise CampaignError(f"{path}: store has no records")
+    seen: set[str] = set()
+    for record in records:
+        item_id = record.get("item_id")
+        if not isinstance(item_id, str) or not item_id:
+            raise CampaignError(f"{path}: record without an item_id")
+        if item_id in seen:
+            raise CampaignError(f"{path}: duplicate item id {item_id!r}")
+        seen.add(item_id)
+        metrics = record.get("metrics")
+        if not isinstance(metrics, dict) or not metrics:
+            raise CampaignError(f"{path}: record {item_id!r} has no metrics")
+        if not isinstance(record.get("item"), dict):
+            raise CampaignError(f"{path}: record {item_id!r} has no item")
+    return store
+
+
+def store_replications(
+    store: dict, confidence: float = 0.95
+) -> dict[str, tuple[list[int], Replication]]:
+    """Re-aggregate a store per grid cell: group -> (seeds, Replication).
+
+    Groups records by :attr:`WorkItem.group` (same scenario, stack and
+    sweep-point — the cells of the campaign grid), orders each group's
+    records by seed ascending, and reduces the per-seed metric dicts
+    with :func:`repro.experiments.runner.aggregate` at ``confidence``
+    — exactly how a live replication aggregates, so the resulting
+    means and CI half-widths match a live run of the same grid.
+    Groups are returned in first-appearance (store) order.
+    Deterministic: pure reduction.
+    """
+    grouped: dict[str, list[tuple[int, dict]]] = {}
+    for record in store["records"]:
+        item = WorkItem.from_json(record["item"])
+        grouped.setdefault(item.group, []).append(
+            (item.seed, record["metrics"])
+        )
+    out: dict[str, tuple[list[int], Replication]] = {}
+    for group, entries in grouped.items():
+        entries.sort(key=lambda entry: entry[0])
+        seeds = [seed for seed, _metrics in entries]
+        out[group] = (
+            seeds,
+            aggregate([metrics for _seed, metrics in entries], confidence),
+        )
+    return out
+
+
+def store_stack_comparisons(
+    store: dict, confidence: float = 0.95
+) -> list[StackComparison]:
+    """Rebuild cross-stack comparison tables from a merged store.
+
+    For every plain scenario (non-sweep) the campaign ran under more
+    than one stack with identical seed lists, assembles the same
+    :class:`~repro.scenarios.compare.StackComparison` a live
+    ``repro scenario run <name> --stack all`` builds — render it with
+    :func:`~repro.scenarios.compare.format_stack_comparison` for a
+    byte-identical table.  Scenarios appear in store order; stacks in
+    registry order (the order a live ``--stack all`` uses), with any
+    unregistered stragglers appended in first-appearance order.
+    Deterministic: pure reduction.
+    """
+    from repro.stacks.registry import stack_names
+    per_scenario: dict[str, dict[str, list[tuple[int, dict]]]] = {}
+    for record in store["records"]:
+        item = WorkItem.from_json(record["item"])
+        if item.sweep is not None:
+            continue
+        stacks = per_scenario.setdefault(item.scenario, {})
+        stacks.setdefault(item.stack, []).append(
+            (item.seed, record["metrics"])
+        )
+    comparisons: list[StackComparison] = []
+    registry_order = stack_names()
+    for scenario, stacks in per_scenario.items():
+        if len(stacks) < 2:
+            continue
+        ordered = [name for name in registry_order if name in stacks]
+        ordered += [name for name in stacks if name not in ordered]
+        seed_lists = []
+        replications: dict[str, Replication] = {}
+        for stack in ordered:
+            entries = stacks[stack]
+            entries.sort(key=lambda entry: entry[0])
+            seed_lists.append([seed for seed, _metrics in entries])
+            replications[stack] = aggregate(
+                [metrics for _seed, metrics in entries], confidence
+            )
+        if any(seeds != seed_lists[0] for seeds in seed_lists[1:]):
+            # Unpaired seeds: columns would not be comparable per seed,
+            # so no side-by-side table for this scenario.
+            continue
+        spec = get_scenario(scenario)
+        if store.get("smoke"):
+            spec = spec.smoke()
+        comparisons.append(build_stack_comparison(
+            spec, replications, seed_lists[0], confidence
+        ))
+    return comparisons
+
+
+__all__ = [
+    "STORE_SCHEMA",
+    "load_store",
+    "merge_store",
+    "store_replications",
+    "store_stack_comparisons",
+    "write_store",
+]

@@ -23,6 +23,12 @@ Usage::
     python -m repro scenario sweep campus-dense/backhaul --smoke    # CI variant
     python -m repro scenario sweep flash-crowd/hotspot-fraction --stack all
 
+    python -m repro campaign new night --scenarios all --stacks all
+    python -m repro campaign run night --jobs 8     # durable; Ctrl-C safe
+    python -m repro campaign resume night --jobs 8  # skips completed items
+    python -m repro campaign status night --tables
+    python -m repro campaign diff night-before night-after  # CI regressions
+
 ``--jobs N`` fans the per-seed scenario jobs out over N forked worker
 processes; results are identical to a serial run for the same seeds
 (see :mod:`repro.experiments.exec`).  ``scenario sweep`` submits the
@@ -185,6 +191,132 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write each table to <dir>/sweep_<name>.txt and its figure "
         "to <dir>/sweep_<name>.png (.figure.txt without matplotlib)",
+    )
+
+    campaign = commands.add_parser(
+        "campaign",
+        help="durable resumable runs over (scenario, stack, sweep, seed) "
+        "grids, with cross-run regression diffs",
+    )
+    campaign_verbs = campaign.add_subparsers(
+        dest="campaign_command", required=True
+    )
+
+    campaign_new = campaign_verbs.add_parser(
+        "new", help="expand a grid into a durable campaign directory"
+    )
+    campaign_new.add_argument(
+        "directory", type=pathlib.Path, help="campaign directory to create"
+    )
+    campaign_new.add_argument(
+        "--scenarios",
+        nargs="+",
+        default=[],
+        metavar="NAME",
+        help="catalog scenarios to queue (names, or 'all')",
+    )
+    campaign_new.add_argument(
+        "--sweeps",
+        nargs="+",
+        default=[],
+        metavar="NAME",
+        help="registered sweeps to queue (names, or 'all')",
+    )
+    campaign_new.add_argument(
+        "--stacks",
+        nargs="+",
+        default=None,
+        metavar="STACK",
+        help="protocol stacks to cross every entry with (names, or "
+        "'all'); default: each spec's own stack",
+    )
+    campaign_new.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="SEED",
+        help="override every entry's default seed list",
+    )
+    campaign_new.add_argument(
+        "--smoke",
+        action="store_true",
+        help="queue the shrunken CI smoke variant of every entry",
+    )
+    campaign_new.add_argument(
+        "--name",
+        default=None,
+        help="campaign name recorded in the manifest (default: the "
+        "directory name)",
+    )
+
+    for verb, help_text in (
+        ("run", "drain the campaign's pending items"),
+        ("resume", "synonym of run: skip completed items, run the rest"),
+    ):
+        campaign_run = campaign_verbs.add_parser(verb, help=help_text)
+        campaign_run.add_argument(
+            "directory", type=pathlib.Path, help="campaign directory"
+        )
+        campaign_run.add_argument(
+            "-j",
+            "--jobs",
+            type=int,
+            default=1,
+            metavar="N",
+            help="worker processes per batch (default 1 = serial; the "
+            "final store is byte-identical for any N)",
+        )
+        campaign_run.add_argument(
+            "--batch-size",
+            type=int,
+            default=None,
+            metavar="K",
+            help="items dispatched per backend batch (default 8): "
+            "smaller = finer crash granularity, larger = less dispatch "
+            "overhead",
+        )
+        campaign_run.add_argument(
+            "--max-items",
+            type=int,
+            default=None,
+            metavar="M",
+            help="stop after M items (deterministic partial run; resume "
+            "later)",
+        )
+
+    campaign_status = campaign_verbs.add_parser(
+        "status", help="show per-group completion counts"
+    )
+    campaign_status.add_argument(
+        "directory", type=pathlib.Path, help="campaign directory"
+    )
+    campaign_status.add_argument(
+        "--tables",
+        action="store_true",
+        help="for a completed campaign, also render the cross-stack "
+        "comparison tables from the merged store",
+    )
+
+    campaign_diff = campaign_verbs.add_parser(
+        "diff", help="per-metric CI regression report between two runs"
+    )
+    campaign_diff.add_argument(
+        "run_a", type=pathlib.Path, help="first campaign dir or results.json"
+    )
+    campaign_diff.add_argument(
+        "run_b", type=pathlib.Path, help="second campaign dir or results.json"
+    )
+    campaign_diff.add_argument(
+        "--all",
+        action="store_true",
+        dest="show_all",
+        help="also list the metrics whose intervals overlap (no change)",
+    )
+    campaign_diff.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 3 when the report contains at least one regression",
     )
     return parser
 
@@ -426,11 +558,140 @@ def _scenario_sweep_main(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_main(args: argparse.Namespace) -> int:
+    from repro.campaign import (
+        Campaign,
+        CampaignError,
+        diff_stores,
+        format_campaign_diff,
+        load_store,
+        run_campaign,
+        store_stack_comparisons,
+    )
+
+    try:
+        if args.campaign_command == "new":
+            from repro import scenarios
+
+            wanted_scenarios = args.scenarios
+            if wanted_scenarios:
+                wanted_scenarios = _expand_names(
+                    wanted_scenarios, scenarios.scenario_names(), "scenario"
+                )
+                if wanted_scenarios is None:
+                    return 2
+            wanted_sweeps = args.sweeps
+            if wanted_sweeps:
+                wanted_sweeps = _expand_names(
+                    wanted_sweeps, scenarios.sweep_names(), "sweep"
+                )
+                if wanted_sweeps is None:
+                    return 2
+            stacks = args.stacks
+            if stacks is not None:
+                from repro.stacks import stack_names
+
+                stacks = _expand_names(stacks, stack_names(), "stack")
+                if stacks is None:
+                    return 2
+            campaign = Campaign.create(
+                args.directory,
+                scenarios=wanted_scenarios,
+                sweeps=wanted_sweeps,
+                stacks=stacks,
+                seeds=args.seeds,
+                smoke=args.smoke,
+                name=args.name,
+            )
+            print(
+                f"campaign {campaign.manifest.name!r} created at "
+                f"{args.directory}: {len(campaign.manifest.items)} work "
+                f"item(s) queued"
+            )
+            print(f"run it with: repro campaign run {args.directory}")
+            return 0
+
+        if args.campaign_command in ("run", "resume"):
+            if not _jobs_ok(args.jobs):
+                return 2
+            campaign = Campaign.load(args.directory)
+            started = time.perf_counter()
+            kwargs = {}
+            if args.batch_size is not None:
+                kwargs["batch_size"] = args.batch_size
+            summary = run_campaign(
+                campaign,
+                backend=backend_for_jobs(args.jobs),
+                max_items=args.max_items,
+                log=print,
+                **kwargs,
+            )
+            elapsed = time.perf_counter() - started
+            print(
+                f"[{summary.ran} item(s) run, {summary.skipped} skipped "
+                f"in {elapsed:.1f}s]"
+            )
+            if not summary.done:
+                remaining = summary.total - summary.skipped - summary.ran
+                print(
+                    f"{remaining} item(s) still pending; continue with: "
+                    f"repro campaign resume {args.directory}"
+                )
+            return 0
+
+        if args.campaign_command == "status":
+            campaign = Campaign.load(args.directory)
+            status = campaign.status()
+            print(
+                f"campaign {status.name!r}: {status.completed}/"
+                f"{status.total} item(s) completed "
+                f"({status.pending} pending)"
+            )
+            for group, (done, total) in status.groups.items():
+                print(f"  {group:44s} {done}/{total}")
+            if status.done:
+                print(f"merged store: {campaign.store_path}")
+            if args.tables:
+                if not status.done:
+                    print(
+                        "[--tables needs a completed campaign; "
+                        "finish it with 'repro campaign resume']"
+                    )
+                else:
+                    from repro.scenarios import format_stack_comparison
+
+                    store = load_store(campaign.store_path)
+                    for comparison in store_stack_comparisons(store):
+                        print()
+                        print(format_stack_comparison(comparison))
+            return 0
+
+        # campaign diff --------------------------------------------------
+        store_a = load_store(args.run_a)
+        store_b = load_store(args.run_b)
+        diff = diff_stores(
+            store_a,
+            store_b,
+            label_a=str(args.run_a),
+            label_b=str(args.run_b),
+        )
+        print(format_campaign_diff(diff, show_all=args.show_all))
+        if args.strict and diff.regressions():
+            return 3
+        return 0
+    except CampaignError as error:
+        print(f"campaign error: {error}", file=sys.stderr)
+        return 2
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
 
     if args.command == "scenario":
         return _scenario_main(args)
+
+    if args.command == "campaign":
+        return _campaign_main(args)
 
     if args.command == "list":
         for experiment_id, fn in ALL_EXPERIMENTS.items():

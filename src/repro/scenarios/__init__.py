@@ -43,6 +43,7 @@ from repro.scenarios.catalog import (
 )
 from repro.scenarios.compare import (
     StackComparison,
+    build_stack_comparison,
     compare_scenario_stacks,
     format_stack_comparison,
 )
@@ -61,6 +62,7 @@ from repro.scenarios.sweep import (
     iter_sweeps,
     register_sweep,
     sweep_names,
+    sweep_points,
     sweep_scenario,
     sweep_scenarios,
 )
@@ -74,6 +76,7 @@ __all__ = [
     "StackComparison",
     "apportion",
     "build_scenario",
+    "build_stack_comparison",
     "compare_scenario_stacks",
     "describe_scenario",
     "describe_sweep",
@@ -95,6 +98,7 @@ __all__ = [
     "run_scenario_trace",
     "scenario_names",
     "sweep_names",
+    "sweep_points",
     "sweep_scenario",
     "sweep_scenarios",
 ]

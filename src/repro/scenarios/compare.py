@@ -50,34 +50,61 @@ class StackComparison:
 
         The common cross-stack metrics first, then any extra keys
         present under *every* compared stack (e.g. the ``air_*``
-        contention metrics), in first-stack order.  Stack-specific
-        namespaced extras are excluded here and rendered separately.
+        contention metrics), sorted by name so the order is canonical
+        — independent of metric emission order, which keeps live
+        tables byte-identical to ones rebuilt from a campaign results
+        store.  Stack-specific namespaced extras are excluded here and
+        rendered separately.
         """
         rows = list(COMMON_METRICS)
         shared = set.intersection(
             *(set(rep.metrics) for rep in self.replications.values())
         )
-        first = self.replications[self.stacks[0]]
-        rows.extend(
-            name
-            for name in first.metrics
-            if name in shared and name not in rows
-        )
+        rows.extend(sorted(shared - set(rows)))
         return rows
 
     def extras(self, stack: str) -> dict[str, float]:
         """``stack``'s namespaced extra metrics (means), e.g. ``cip.*``.
 
         Keys that are not shared by every compared stack — the
-        stack-specific tail the side-by-side table cannot align.
+        stack-specific tail the side-by-side table cannot align —
+        sorted by name (canonical order, matching store rebuilds).
         """
         shared = set(self.metric_rows())
         replication = self.replications[stack]
         return {
-            name: estimate.mean
-            for name, estimate in replication.metrics.items()
+            name: replication.metrics[name].mean
+            for name in sorted(replication.metrics)
             if name not in shared
         }
+
+
+def build_stack_comparison(
+    spec: ScenarioSpec,
+    replications: dict[str, Replication],
+    seeds: Sequence[int],
+    confidence: float = 0.95,
+) -> StackComparison:
+    """Assemble a :class:`StackComparison` from per-stack replications.
+
+    The construction seam shared by :func:`compare_scenario_stacks`
+    (which runs the grid live) and the campaign results store
+    (:mod:`repro.campaign.store`, which re-aggregates persisted
+    per-item records) — both render through
+    :func:`format_stack_comparison`, so a resumed campaign's
+    comparison table is byte-identical to a live ``--stack all`` run
+    of the same grid.  Stack order follows the ``replications``
+    mapping's insertion order.  Deterministic: pure data assembly.
+    """
+    if not replications:
+        raise ValueError("replications must not be empty")
+    return StackComparison(
+        spec=spec,
+        stacks=list(replications),
+        seeds=list(seeds),
+        replications=dict(replications),
+        confidence=confidence,
+    )
 
 
 def compare_scenario_stacks(
@@ -119,12 +146,8 @@ def compare_scenario_stacks(
             _, seed_list, replication = batch[offset]
             offset += 1
             replications[name] = replication
-        comparisons.append(StackComparison(
-            spec=spec,
-            stacks=list(names),
-            seeds=list(seed_list),
-            replications=replications,
-            confidence=confidence,
+        comparisons.append(build_stack_comparison(
+            spec, replications, seed_list, confidence
         ))
     return comparisons
 
@@ -172,6 +195,7 @@ def format_stack_comparison(comparison: StackComparison) -> str:
 
 __all__ = [
     "StackComparison",
+    "build_stack_comparison",
     "compare_scenario_stacks",
     "format_stack_comparison",
 ]

@@ -418,6 +418,29 @@ def effective_sweep(
     return resolved, base, seed_list
 
 
+def sweep_points(
+    sweep: Union[str, ScenarioSweep],
+    base: Optional[ScenarioSpec] = None,
+    seeds: Optional[Iterable[int]] = None,
+    smoke: bool = False,
+    stack: Optional[str] = None,
+) -> tuple[ScenarioSweep, ScenarioSpec, list[int], list[tuple[float, ScenarioSpec]]]:
+    """Resolve one sweep run down to its executable (value, spec) grid.
+
+    Extends :func:`effective_sweep` with the derived per-point specs:
+    returns ``(sweep, base spec, seed list, points)`` where ``points``
+    is one ``(axis value, validated spec)`` pair per axis point, in
+    axis order.  This is the single source of truth for what a sweep
+    run executes — :func:`sweep_scenarios` batches exactly these specs
+    and the campaign layer (:mod:`repro.campaign.manifest`) freezes
+    them into durable work items, so the two can never disagree about
+    the grid.  Deterministic: pure resolution and derivation.
+    """
+    resolved, base, seed_list = effective_sweep(sweep, base, seeds, smoke, stack)
+    specs = resolved.derived_specs(base)
+    return resolved, base, seed_list, list(zip(resolved.values, specs))
+
+
 def sweep_scenario(
     sweep: Union[str, ScenarioSweep],
     base: Optional[ScenarioSpec] = None,
@@ -527,10 +550,10 @@ def sweep_scenarios(
     jobs = []
     for entry in sweeps:
         for stack in stack_list:
-            resolved, base, seed_list = effective_sweep(
+            resolved, base, seed_list, points = sweep_points(
                 entry, seeds=materialized, smoke=smoke, stack=stack
             )
-            specs = resolved.derived_specs(base)
+            specs = [spec for _value, spec in points]
             jobs.extend(
                 partial(run_scenario_spec, spec, seed)
                 for spec in specs
@@ -738,6 +761,7 @@ __all__ = [
     "iter_sweeps",
     "register_sweep",
     "sweep_names",
+    "sweep_points",
     "sweep_scenario",
     "sweep_scenarios",
 ]

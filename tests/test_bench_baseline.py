@@ -51,6 +51,74 @@ def test_baseline_covers_kernel_and_every_stack():
         )
 
 
+def _report(name, mean):
+    return {"benchmarks": [{"name": name, "stats": {"mean": mean}}]}
+
+
+def _baseline_with(name, mean):
+    tool = _load_tool()
+    return {
+        "schema": tool.SCHEMA,
+        "entries": {
+            name: {
+                "file": "benchmarks/bench_x.py",
+                "stats": {"min": mean, "max": mean, "mean": mean,
+                          "stddev": 0.0, "rounds": 5},
+            }
+        },
+    }
+
+
+def test_compare_timings_passes_within_tolerance_band():
+    tool = _load_tool()
+    baseline = _baseline_with("bench_a", 0.010)
+    assert tool.compare_timings(baseline, _report("bench_a", 0.012), 5.0) == []
+    # right at the band edge is still fine; strictly beyond it is not
+    assert tool.compare_timings(baseline, _report("bench_a", 0.050), 5.0) == []
+    problems = tool.compare_timings(baseline, _report("bench_a", 0.051), 5.0)
+    assert len(problems) == 1 and "exceeds baseline" in problems[0]
+
+
+def test_compare_timings_reports_missing_baseline_entry():
+    tool = _load_tool()
+    baseline = _baseline_with("bench_a", 0.010)
+    problems = tool.compare_timings(baseline, _report("bench_new", 0.001), 5.0)
+    assert len(problems) == 1 and "no baseline entry" in problems[0]
+    # benches only in the baseline are fine (CI may gate on a subset)
+    assert tool.compare_timings(baseline, {"benchmarks": []}, 5.0) == []
+
+
+def test_compare_timings_rejects_degenerate_tolerance():
+    import pytest
+
+    tool = _load_tool()
+    with pytest.raises(ValueError, match="tolerance"):
+        tool.compare_timings({"entries": {}}, {"benchmarks": []}, 1.0)
+
+
+def test_check_cli_gates_on_report(tmp_path, capsys):
+    """``--check --report`` wires compare_timings into the exit code."""
+    tool = _load_tool()
+    slow = {
+        "benchmarks": [
+            {"name": "test_bench_kernel_event_throughput",
+             "stats": {"mean": 1e9}}
+        ]
+    }
+    report = tmp_path / "report.json"
+    report.write_text(json.dumps(slow))
+    assert tool.main(["--check", "--report", str(report)]) == 1
+    assert "exceeds baseline" in capsys.readouterr().err
+
+    entries = json.loads(BASELINE.read_text())["entries"]
+    name = "test_bench_kernel_event_throughput"
+    ok = {"benchmarks": [
+        {"name": name, "stats": {"mean": entries[name]["stats"]["mean"]}}
+    ]}
+    report.write_text(json.dumps(ok))
+    assert tool.main(["--check", "--report", str(report)]) == 0
+
+
 def test_merge_preserves_unrelated_entries():
     tool = _load_tool()
     baseline = {

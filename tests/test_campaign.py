@@ -1,0 +1,352 @@
+"""Tests for the durable campaign runner (`repro.campaign`).
+
+Pins the campaign layer's load-bearing guarantees:
+
+* manifest expansion is deterministic, unique and round-trip exact;
+  duplicate grid cells and unknown names fail eagerly;
+* completion records round-trip byte-exactly and every integrity gate
+  fires with the problem named: stray records, fingerprint drift
+  between manifest and catalog, corrupted or duplicated store entries,
+  merging an incomplete campaign;
+* ``run_campaign`` resumes by skipping completed items, re-runs only
+  the remainder, and the merged ``results.json`` is byte-identical to
+  an uninterrupted run's — serial and ``--jobs 2`` (the SIGKILL
+  variants live in ``tests/test_campaign_crash.py``);
+* store re-aggregation equals a live replication of the same grid;
+* the CLI verbs (``new``/``run``/``resume``/``status``/``diff``) wire
+  through with the documented exit codes (2 campaign error, 3 strict
+  regression).
+"""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.campaign import (
+    Campaign,
+    CampaignError,
+    WorkItem,
+    build_manifest,
+    load_store,
+    merge_store,
+    run_campaign,
+    spec_fingerprint,
+    store_replications,
+    store_stack_comparisons,
+)
+from repro.campaign.manifest import CampaignManifest
+from repro.cli import main
+from repro.experiments.exec import ProcessPoolBackend, SerialBackend
+from repro.experiments.runner import replicate
+from repro.scenarios import (
+    compare_scenario_stacks,
+    format_stack_comparison,
+    get_scenario,
+    run_scenario_spec,
+)
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+needs_fork = pytest.mark.skipif(not HAS_FORK, reason="platform lacks fork")
+
+SCENARIO = "sparse-rural"  # the fastest smoke scenario in the catalog
+
+
+def _campaign(tmp_path, sub="camp", **kwargs):
+    kwargs.setdefault("scenarios", [SCENARIO])
+    kwargs.setdefault("smoke", True)
+    kwargs.setdefault("name", "testcamp")
+    return Campaign.create(tmp_path / sub, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Manifest expansion
+# ----------------------------------------------------------------------
+def test_build_manifest_is_deterministic_and_unique():
+    knobs = dict(
+        scenarios=["sparse-rural", "campus-dense"],
+        sweeps=["sparse-rural/population"],
+        stacks=["multitier", "cellularip"],
+        seeds=[1, 2],
+        smoke=True,
+    )
+    a = build_manifest("grid", **knobs)
+    b = build_manifest("grid", **knobs)
+    assert a == b
+    assert a.digest() == b.digest()
+    ids = a.item_ids()
+    assert len(ids) == len(set(ids))
+    # scenario-major then sweep-major expansion, 2 scenarios x 2 stacks
+    # x 2 seeds + 1 sweep x 2 stacks x points x 2 seeds
+    assert ids[0] == "sparse-rural--multitier--s1"
+    assert any(item.sweep == "sparse-rural/population" for item in a.items)
+
+
+def test_build_manifest_rejects_duplicates_and_empties():
+    with pytest.raises(CampaignError, match="duplicate work item"):
+        build_manifest("dup", scenarios=[SCENARIO, SCENARIO], smoke=True)
+    with pytest.raises(CampaignError, match="at least one"):
+        build_manifest("empty")
+    with pytest.raises(KeyError, match="registered"):
+        build_manifest("bad", scenarios=[SCENARIO], stacks=["hawaii"])
+
+
+def test_manifest_json_round_trip_is_exact():
+    manifest = build_manifest(
+        "rt", scenarios=[SCENARIO], sweeps=["sparse-rural/population"],
+        stacks=["multitier"], seeds=[3, 5], smoke=True,
+    )
+    rebuilt = CampaignManifest.from_json(
+        json.loads(json.dumps(manifest.to_json()))
+    )
+    assert rebuilt == manifest
+    assert rebuilt.digest() == manifest.digest()
+    rebuilt.verify_derivable()  # catalog unchanged -> no drift
+
+
+def test_work_item_ids_are_filesystem_safe():
+    item = WorkItem(
+        scenario="sparse-rural", stack="multitier", seed=7,
+        sweep="sparse-rural/population", sweep_value=24.0,
+    )
+    assert "/" not in item.item_id
+    assert WorkItem.from_json(item.to_json()) == item
+    assert item.group == "sparse-rural/population@24 [multitier]"
+
+
+def test_manifest_detects_fingerprint_drift_on_load(tmp_path):
+    campaign = _campaign(tmp_path)
+    payload = json.loads((campaign.directory / "manifest.json").read_text())
+    payload["items"][0]["fingerprint"] = "0" * 16
+    (campaign.directory / "manifest.json").write_text(json.dumps(payload))
+    with pytest.raises(CampaignError, match="does not match the manifest"):
+        Campaign.load(campaign.directory)
+
+
+def test_campaign_new_refuses_existing_directory(tmp_path):
+    _campaign(tmp_path)
+    with pytest.raises(CampaignError, match="never\\s+overwrites"):
+        _campaign(tmp_path)
+
+
+# ----------------------------------------------------------------------
+# Records: round trip + integrity gates
+# ----------------------------------------------------------------------
+def test_record_round_trip_is_byte_exact(tmp_path):
+    campaign = _campaign(tmp_path)
+    item = campaign.manifest.items[0]
+    metrics = run_scenario_spec(item.spec(smoke=True), item.seed)
+    path = campaign.write_record(item, metrics)
+    first = path.read_bytes()
+    record = campaign.read_record(item.item_id)
+    assert record["metrics"] == {k: float(v) for k, v in metrics.items()}
+    assert record["fingerprint"] == spec_fingerprint(item.spec(smoke=True))
+    campaign.write_record(item, metrics)  # rewrite: identical bytes
+    assert path.read_bytes() == first
+
+
+def test_stray_record_fails_eagerly(tmp_path):
+    campaign = _campaign(tmp_path)
+    (campaign.items_dir / "not-in-manifest--s1.json").write_text("{}")
+    with pytest.raises(CampaignError, match="unknown item"):
+        campaign.completed_ids()
+
+
+def test_inflight_tmp_files_are_ignored(tmp_path):
+    campaign = _campaign(tmp_path)
+    (campaign.items_dir / "whatever.json.tmp").write_text("{torn")
+    assert campaign.completed_ids() == set()
+
+
+def test_corrupt_record_fails_with_file_named(tmp_path):
+    campaign = _campaign(tmp_path)
+    item_id = campaign.manifest.item_ids()[0]
+    campaign.record_path(item_id).write_text("{not json")
+    with pytest.raises(CampaignError, match="not valid JSON"):
+        campaign.read_record(item_id)
+
+
+def test_merge_refuses_incomplete_campaign(tmp_path):
+    campaign = _campaign(tmp_path, seeds=[1, 2])
+    run_campaign(campaign, backend=SerialBackend(), max_items=1)
+    with pytest.raises(CampaignError, match="1 pending"):
+        merge_store(campaign)
+
+
+def test_merge_rejects_record_fingerprint_mismatch(tmp_path):
+    campaign = _campaign(tmp_path)
+    run_campaign(campaign, backend=SerialBackend())
+    item_id = campaign.manifest.item_ids()[0]
+    payload = json.loads(campaign.record_path(item_id).read_text())
+    payload["fingerprint"] = "f" * 16
+    campaign.record_path(item_id).write_text(json.dumps(payload))
+    with pytest.raises(CampaignError, match="different spec"):
+        merge_store(campaign)
+
+
+def test_load_store_integrity_gates(tmp_path):
+    campaign = _campaign(tmp_path)
+    with pytest.raises(CampaignError, match="no merged store"):
+        load_store(campaign.directory)
+    run_campaign(campaign, backend=SerialBackend())
+    store = load_store(campaign.directory)  # accepts the directory
+    assert store["schema"] == 1
+    payload = json.loads(campaign.store_path.read_text())
+    payload["records"].append(payload["records"][0])
+    campaign.store_path.write_text(json.dumps(payload))
+    with pytest.raises(CampaignError, match="duplicate item id"):
+        load_store(campaign.store_path)
+    payload["records"] = []
+    campaign.store_path.write_text(json.dumps(payload))
+    with pytest.raises(CampaignError, match="no records"):
+        load_store(campaign.store_path)
+
+
+# ----------------------------------------------------------------------
+# Resume semantics + byte-identity (kill-free; SIGKILL suite separate)
+# ----------------------------------------------------------------------
+def test_resume_skips_completed_and_store_is_byte_identical(tmp_path):
+    knobs = dict(seeds=[1, 2, 3], name="parity")
+    straight = _campaign(tmp_path, "straight", **knobs)
+    summary = run_campaign(straight, backend=SerialBackend())
+    assert summary.done and summary.skipped == 0 and summary.ran == 3
+
+    resumed = _campaign(tmp_path, "resumed", **knobs)
+    partial = run_campaign(resumed, backend=SerialBackend(), max_items=2)
+    assert not partial.done and partial.ran == 2
+    rest = run_campaign(resumed, backend=SerialBackend())
+    assert rest.done and rest.skipped == 2 and rest.ran == 1
+
+    assert resumed.store_path.read_bytes() == straight.store_path.read_bytes()
+    for item_id in straight.manifest.item_ids():
+        assert (
+            resumed.record_path(item_id).read_bytes()
+            == straight.record_path(item_id).read_bytes()
+        )
+
+
+@needs_fork
+def test_pool_resume_matches_serial_store(tmp_path):
+    knobs = dict(seeds=[1, 2, 3], name="parity")
+    serial = _campaign(tmp_path, "serial", **knobs)
+    run_campaign(serial, backend=SerialBackend())
+    pooled = _campaign(tmp_path, "pooled", **knobs)
+    run_campaign(pooled, backend=ProcessPoolBackend(jobs=2), max_items=2,
+                 batch_size=2)
+    run_campaign(pooled, backend=ProcessPoolBackend(jobs=2))
+    assert pooled.store_path.read_bytes() == serial.store_path.read_bytes()
+
+
+def test_status_counts_groups(tmp_path):
+    campaign = _campaign(tmp_path, seeds=[1, 2])
+    run_campaign(campaign, backend=SerialBackend(), max_items=1)
+    status = campaign.status()
+    assert (status.total, status.completed, status.pending) == (2, 1, 1)
+    assert status.groups == {f"{SCENARIO} [multitier]": (1, 2)}
+    assert not status.done
+
+
+# ----------------------------------------------------------------------
+# Store re-aggregation == live replication
+# ----------------------------------------------------------------------
+def test_store_replications_match_live_aggregate(tmp_path):
+    campaign = _campaign(tmp_path, seeds=[1, 2, 3])
+    run_campaign(campaign, backend=SerialBackend())
+    store = load_store(campaign.directory)
+    (groups,) = [store_replications(store)]
+    seeds, replication = groups[f"{SCENARIO} [multitier]"]
+    assert seeds == [1, 2, 3]
+    spec = get_scenario(SCENARIO).smoke()
+    live = replicate(
+        lambda seed: run_scenario_spec(spec, seed), [1, 2, 3],
+        backend=SerialBackend(),
+    )
+    assert replication == live
+
+
+def test_store_stack_comparison_renders_byte_identical_to_live(tmp_path):
+    campaign = _campaign(
+        tmp_path, stacks=["multitier", "cellularip", "mobileip"]
+    )
+    run_campaign(campaign, backend=SerialBackend())
+    (rebuilt,) = store_stack_comparisons(load_store(campaign.directory))
+    live = compare_scenario_stacks(
+        [get_scenario(SCENARIO).smoke()],
+        stacks=["multitier", "cellularip", "mobileip"],
+        backend=SerialBackend(),
+    )[0]
+    assert format_stack_comparison(rebuilt) == format_stack_comparison(live)
+
+
+# ----------------------------------------------------------------------
+# CLI verbs
+# ----------------------------------------------------------------------
+def test_cli_new_run_status_diff_happy_path(tmp_path, capsys):
+    camp = tmp_path / "cli-camp"
+    assert main([
+        "campaign", "new", str(camp), "--scenarios", SCENARIO,
+        "--smoke", "--seeds", "1", "2", "--name", "clicamp",
+    ]) == 0
+    assert "2 work item(s) queued" in capsys.readouterr().out
+
+    assert main(["campaign", "run", str(camp), "--batch-size", "1"]) == 0
+    assert "merged store written" in capsys.readouterr().out
+
+    assert main(["campaign", "status", str(camp)]) == 0
+    assert "2/2 item(s) completed" in capsys.readouterr().out
+
+    assert main(["campaign", "diff", str(camp), str(camp), "--strict"]) == 0
+    assert "no regressions" in capsys.readouterr().out
+
+
+def test_cli_resume_is_run_again(tmp_path, capsys):
+    camp = tmp_path / "resume-camp"
+    assert main([
+        "campaign", "new", str(camp), "--scenarios", SCENARIO,
+        "--smoke", "--seeds", "1", "2", "--name", "resumecamp",
+    ]) == 0
+    assert main(["campaign", "run", str(camp), "--max-items", "1"]) == 0
+    assert "still pending" in capsys.readouterr().out
+    assert main(["campaign", "resume", str(camp)]) == 0
+    out = capsys.readouterr().out
+    assert "resuming: 1 completed item(s) skipped" in out
+    assert "merged store written" in out
+
+
+def test_cli_rejects_unknown_names_with_exit_2(tmp_path, capsys):
+    camp = tmp_path / "bad-camp"
+    assert main([
+        "campaign", "new", str(camp), "--scenarios", "atlantis",
+    ]) == 2
+    assert main([
+        "campaign", "new", str(camp), "--scenarios", SCENARIO,
+        "--stacks", "hawaii",
+    ]) == 2
+    assert not camp.exists()  # failed before touching the filesystem
+    assert main(["campaign", "status", str(camp)]) == 2
+    err = capsys.readouterr().err
+    assert "not a campaign directory" in err
+
+
+def test_cli_diff_strict_exits_3_on_regression(tmp_path, capsys):
+    """A seeded single-metric regression (zero-width CIs at one seed)
+    must flip ``--strict`` to exit 3."""
+    knobs = ["--scenarios", SCENARIO, "--smoke", "--seeds", "1"]
+    camp_a = tmp_path / "a"
+    camp_b = tmp_path / "b"
+    assert main(["campaign", "new", str(camp_a), *knobs, "--name", "n"]) == 0
+    assert main(["campaign", "new", str(camp_b), *knobs, "--name", "n"]) == 0
+    assert main(["campaign", "run", str(camp_a)]) == 0
+    assert main(["campaign", "run", str(camp_b)]) == 0
+    capsys.readouterr()
+
+    store = json.loads((camp_b / "results.json").read_text())
+    record = store["records"][0]
+    record["metrics"]["loss_rate"] = record["metrics"]["loss_rate"] + 0.5
+    (camp_b / "results.json").write_text(json.dumps(store))
+
+    assert main([
+        "campaign", "diff", str(camp_a), str(camp_b), "--strict",
+    ]) == 3
+    out = capsys.readouterr().out
+    assert "1 regressed" in out and "loss_rate" in out

@@ -1,0 +1,182 @@
+"""Crash/kill hardening for the durable campaign queue (`repro.campaign`).
+
+The campaign layer's headline guarantee: a worker SIGKILLed mid-grid
+loses at most its in-flight batch, and a resume (serial *or*
+``--jobs 2``) skips every completed item, re-runs only the remainder,
+and leaves the whole campaign directory — per-item records and merged
+``results.json`` — **byte-identical** to an uninterrupted serial run.
+
+Mechanics: the worker runs as a real subprocess
+(``python -m repro campaign run <dir> --batch-size 1``) so the SIGKILL
+is a genuine process death, not an in-process exception; the test
+polls the items directory and kills as soon as the first atomic record
+lands.  Both campaigns are created with the same ``--name`` (the name
+is stamped into the manifest digest and the store, so byte-parity
+requires it).
+"""
+
+import json
+import multiprocessing
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.campaign import Campaign, run_campaign
+from repro.cli import main
+from repro.experiments.exec import ProcessPoolBackend, SerialBackend
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+needs_fork = pytest.mark.skipif(not HAS_FORK, reason="platform lacks fork")
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+SCENARIO = "flash-crowd"  # ~0.2s per smoke seed: wide kill window
+SEEDS = ["1", "2", "3", "4", "5", "6"]
+NAME = "killcamp"
+
+
+def _new_campaign(directory):
+    assert main([
+        "campaign", "new", str(directory), "--scenarios", SCENARIO,
+        "--smoke", "--seeds", *SEEDS, "--name", NAME,
+    ]) == 0
+
+
+def _spawn_worker(directory):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "campaign", "run",
+            str(directory), "--batch-size", "1",
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _kill_after_first_record(directory, deadline=60.0):
+    """SIGKILL the worker as soon as one completion record exists."""
+    worker = _spawn_worker(directory)
+    items = pathlib.Path(directory) / "items"
+    start = time.monotonic()
+    try:
+        while time.monotonic() - start < deadline:
+            if worker.poll() is not None:
+                pytest.fail(
+                    "worker finished before it could be killed; "
+                    "enlarge the grid or slow the scenario"
+                )
+            if any(items.glob("*.json")):
+                break
+            time.sleep(0.005)
+        else:
+            pytest.fail("no completion record appeared before the deadline")
+    finally:
+        if worker.poll() is None:
+            worker.send_signal(signal.SIGKILL)
+        worker.wait(timeout=30)
+    assert worker.returncode == -signal.SIGKILL
+
+
+def _assert_directories_byte_identical(killed, straight):
+    killed, straight = pathlib.Path(killed), pathlib.Path(straight)
+    names = sorted(
+        path.relative_to(straight) for path in straight.rglob("*")
+        if path.is_file()
+    )
+    killed_names = sorted(
+        path.relative_to(killed) for path in killed.rglob("*")
+        if path.is_file()
+    )
+    assert killed_names == names  # no strays, no leftover *.tmp
+    for name in names:
+        assert (killed / name).read_bytes() == (straight / name).read_bytes(), (
+            f"{name} differs between killed-then-resumed and straight run"
+        )
+
+
+@pytest.fixture(scope="module")
+def straight_run(tmp_path_factory):
+    """One uninterrupted serial run of the reference grid."""
+    directory = tmp_path_factory.mktemp("campaigns") / "straight"
+    _new_campaign(directory)
+    summary = run_campaign(Campaign.load(directory), backend=SerialBackend())
+    assert summary.done and summary.skipped == 0
+    return directory
+
+
+def test_sigkill_then_serial_resume_is_byte_identical(tmp_path, straight_run):
+    camp = tmp_path / "killed-serial"
+    _new_campaign(camp)
+    _kill_after_first_record(camp)
+
+    campaign = Campaign.load(camp)
+    done_before = len(campaign.completed_ids())
+    assert 1 <= done_before < len(SEEDS)  # partial, not empty, not done
+
+    summary = run_campaign(campaign, backend=SerialBackend())
+    assert summary.done
+    assert summary.skipped == done_before  # completed items never re-ran
+    assert summary.ran == len(SEEDS) - done_before
+
+    _assert_directories_byte_identical(camp, straight_run)
+
+
+@needs_fork
+def test_sigkill_then_pool_resume_is_byte_identical(tmp_path, straight_run):
+    camp = tmp_path / "killed-pool"
+    _new_campaign(camp)
+    _kill_after_first_record(camp)
+
+    campaign = Campaign.load(camp)
+    done_before = len(campaign.completed_ids())
+    summary = run_campaign(campaign, backend=ProcessPoolBackend(jobs=2))
+    assert summary.done and summary.skipped == done_before
+
+    _assert_directories_byte_identical(camp, straight_run)
+
+
+def test_double_kill_then_resume_is_byte_identical(tmp_path, straight_run):
+    """Two successive SIGKILLs (crash during a resume too) still
+    converge to the identical end state."""
+    camp = tmp_path / "killed-twice"
+    _new_campaign(camp)
+    _kill_after_first_record(camp)
+    first_wave = len(Campaign.load(camp).completed_ids())
+
+    worker = _spawn_worker(camp)  # resume, then die again
+    items = camp / "items"
+    start = time.monotonic()
+    while time.monotonic() - start < 60.0 and worker.poll() is None:
+        if len(list(items.glob("*.json"))) > first_wave:
+            break
+        time.sleep(0.005)
+    if worker.poll() is None:
+        worker.send_signal(signal.SIGKILL)
+    worker.wait(timeout=30)
+
+    summary = run_campaign(Campaign.load(camp), backend=SerialBackend())
+    assert summary.done
+    _assert_directories_byte_identical(camp, straight_run)
+
+
+def test_kill_leaves_no_torn_record(tmp_path):
+    """Every record present after a SIGKILL parses and validates —
+    the atomic tmp-file + rename protocol leaves nothing half-written."""
+    camp = tmp_path / "killed-torn"
+    _new_campaign(camp)
+    _kill_after_first_record(camp)
+    campaign = Campaign.load(camp)
+    for item_id in sorted(campaign.completed_ids()):
+        record = campaign.read_record(item_id)  # raises on torn JSON
+        assert record["metrics"]
+        payload = json.loads(campaign.record_path(item_id).read_text())
+        assert payload == record

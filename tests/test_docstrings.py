@@ -1,7 +1,8 @@
 """Docs-debt guard: the public API must stay documented.
 
 Walks ``__all__`` of the scenario subsystem, the execution engine, the
-policy engine, and the radio and mobility packages (their public APIs are the package
+campaign runner, the policy engine, and the radio and mobility
+packages (their public APIs are the package
 ``__init__`` exports plus the shared-channel module) and asserts every
 exported callable/class (and every public method defined on an
 exported class) carries a real docstring, and that each module states
@@ -13,6 +14,11 @@ import inspect
 
 import pytest
 
+import repro.campaign
+import repro.campaign.diff
+import repro.campaign.manifest
+import repro.campaign.queue
+import repro.campaign.store
 import repro.experiments.exec
 import repro.mobility
 import repro.policy
@@ -43,6 +49,11 @@ MODULES = [
     repro.scenarios.compare,
     repro.scenarios.sweep,
     repro.experiments.exec,
+    repro.campaign,
+    repro.campaign.manifest,
+    repro.campaign.queue,
+    repro.campaign.store,
+    repro.campaign.diff,
     repro.policy,
     repro.policy.config,
     repro.policy.decider,

@@ -1,0 +1,114 @@
+"""CI smoke for campaign crash/resume byte-identity (one-shot, no pytest).
+
+Exercises the campaign layer's headline guarantee end to end, the way
+CI likes it — three real CLI invocations and a ``diff -r``:
+
+1. create two campaigns from the same knobs and the same ``--name``
+   (the name is stamped into the manifest digest and merged store, so
+   byte-parity requires sharing it);
+2. run the reference campaign to completion, serially, uninterrupted;
+3. run the other as a subprocess worker with ``--batch-size 1`` and
+   SIGKILL it as soon as the first atomic completion record lands;
+4. resume the killed campaign with ``--jobs 2``;
+5. ``diff -r`` the two directories: manifest, every per-item record
+   and the merged ``results.json`` must be byte-identical.
+
+Exits non-zero (with the differing file named by ``diff``) on any
+divergence.  Usage::
+
+    PYTHONPATH=src python tools/campaign_crash_smoke.py [workdir]
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+SCENARIO = "flash-crowd"  # ~0.2s per smoke seed: a wide kill window
+SEEDS = ("1", "2", "3", "4", "5", "6")
+NAME = "crash-smoke"
+KILL_DEADLINE = 120.0  # seconds to wait for the first record
+
+
+def _cli(*argv: str) -> None:
+    env = {**os.environ, "PYTHONPATH": "src"}
+    subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        cwd=REPO, env=env, check=True,
+    )
+
+
+def _new(directory: pathlib.Path) -> None:
+    _cli(
+        "campaign", "new", str(directory), "--scenarios", SCENARIO,
+        "--smoke", "--seeds", *SEEDS, "--name", NAME,
+    )
+
+
+def _kill_after_first_record(directory: pathlib.Path) -> None:
+    env = {**os.environ, "PYTHONPATH": "src"}
+    worker = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "campaign", "run",
+            str(directory), "--batch-size", "1",
+        ],
+        cwd=REPO, env=env,
+    )
+    items = directory / "items"
+    start = time.monotonic()
+    try:
+        while time.monotonic() - start < KILL_DEADLINE:
+            if worker.poll() is not None:
+                raise SystemExit(
+                    "worker finished before it could be killed — "
+                    "the kill window is too small for this machine"
+                )
+            if any(items.glob("*.json")):
+                break
+            time.sleep(0.005)
+        else:
+            raise SystemExit("no completion record before the deadline")
+    finally:
+        if worker.poll() is None:
+            worker.send_signal(signal.SIGKILL)
+        worker.wait(timeout=30)
+    done = len(list(items.glob("*.json")))
+    print(f"worker SIGKILLed with {done}/{len(SEEDS)} record(s) on disk")
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv:
+        workdir = pathlib.Path(argv[0])
+        workdir.mkdir(parents=True, exist_ok=True)
+    else:
+        workdir = pathlib.Path(tempfile.mkdtemp(prefix="campaign-smoke-"))
+    straight = workdir / "straight"
+    killed = workdir / "killed"
+
+    print(f"== campaign crash smoke in {workdir}")
+    _new(straight)
+    _new(killed)
+    print("== uninterrupted serial reference run")
+    _cli("campaign", "run", str(straight))
+    print("== kill a --batch-size 1 worker after its first record")
+    _kill_after_first_record(killed)
+    print("== resume with --jobs 2")
+    _cli("campaign", "resume", str(killed), "--jobs", "2")
+    print("== diff -r killed-then-resumed vs uninterrupted")
+    subprocess.run(
+        ["diff", "-r", str(straight), str(killed)], check=True,
+    )
+    print("byte-identical: crash/resume left no trace in the results")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,8 @@ Usage::
 
     PYTHONPATH=src python tools/update_bench_baseline.py            # collect + merge
     PYTHONPATH=src python tools/update_bench_baseline.py --check    # shape check only
+    PYTHONPATH=src python tools/update_bench_baseline.py --check \
+        --report bench.json --tolerance 5    # CI bench regression gate
 
 Collect mode runs the kernel-throughput and per-stack scenario benches
 under ``pytest-benchmark --benchmark-json``, reduces each benchmark to
@@ -22,7 +24,13 @@ have the numeric stats fields.
 
 Timings are machine-dependent by nature; the baseline records them for
 trend reading, while the *shape* (which benchmarks exist, how they are
-parametrized) is the part tests pin.
+parametrized) is the part tests pin.  The CI gate therefore compares
+within a generous *tolerance band*: ``--check --report <json>`` fails
+only when a fresh pytest-benchmark report's mean exceeds the baseline
+mean by more than ``--tolerance``x (catching order-of-magnitude
+slowdowns, not machine jitter), and when a reported bench has no
+baseline entry at all (a new bench must be collected into the
+baseline before it can be gated).
 """
 
 from __future__ import annotations
@@ -118,20 +126,74 @@ def check(baseline: dict) -> list[str]:
     return problems
 
 
+def compare_timings(baseline: dict, report: dict, tolerance: float) -> list[str]:
+    """Tolerance-band timing comparison; returns a list of problems.
+
+    ``report`` is a raw pytest-benchmark JSON report.  A benchmark
+    regresses when its fresh mean exceeds ``tolerance`` times its
+    baseline mean; a reported benchmark missing from the baseline is a
+    problem too (collect it first).  Benchmarks only in the baseline
+    are fine — CI may gate on a subset.  Pure function, no I/O.
+    """
+    if tolerance <= 1:
+        raise ValueError(f"tolerance must be > 1, got {tolerance}")
+    entries = baseline.get("entries", {})
+    problems = []
+    for bench in report.get("benchmarks", []):
+        name = bench["name"]
+        entry = entries.get(name)
+        if entry is None:
+            problems.append(
+                f"{name}: no baseline entry; run "
+                f"tools/update_bench_baseline.py to collect it"
+            )
+            continue
+        base_mean = entry["stats"]["mean"]
+        fresh_mean = bench["stats"]["mean"]
+        if base_mean > 0 and fresh_mean > base_mean * tolerance:
+            problems.append(
+                f"{name}: mean {fresh_mean:.6f}s exceeds baseline "
+                f"{base_mean:.6f}s by more than {tolerance:g}x "
+                f"({fresh_mean / base_mean:.1f}x)"
+            )
+    return problems
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--check", action="store_true",
         help="validate the committed baseline's shape without running benches",
     )
+    parser.add_argument(
+        "--report", type=pathlib.Path, default=None,
+        help="with --check: a fresh pytest-benchmark JSON report to gate "
+             "against the baseline within the tolerance band",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=5.0,
+        help="with --check --report: fail when a fresh mean exceeds the "
+             "baseline mean by more than this factor (default: 5)",
+    )
     args = parser.parse_args(argv)
+    if args.report is not None and not args.check:
+        parser.error("--report only makes sense with --check")
     if args.check:
-        problems = check(load_baseline())
+        baseline = load_baseline()
+        problems = check(baseline)
+        if args.report is not None and not problems:
+            report = json.loads(args.report.read_text())
+            problems = compare_timings(baseline, report, args.tolerance)
+            compared = len(report.get("benchmarks", []))
+            print(
+                f"bench gate: {compared} benchmark(s) vs baseline at "
+                f"{args.tolerance:g}x tolerance"
+            )
         for problem in problems:
             print(f"BENCH_kernel.json: {problem}", file=sys.stderr)
         print(
             f"BENCH_kernel.json: "
-            f"{len(load_baseline().get('entries', {}))} entries, "
+            f"{len(baseline.get('entries', {}))} entries, "
             f"{'OK' if not problems else f'{len(problems)} problem(s)'}"
         )
         return 1 if problems else 0
