@@ -1,0 +1,42 @@
+"""Hybrid fluid/discrete scale layer.
+
+City-scale populations are far beyond what per-packet simulation can
+carry, but their *aggregate* load on each cell is exactly what the
+classic teletraffic models predict.  This package computes that load
+analytically — fluid-flow boundary-crossing rates for mobility
+(:mod:`repro.analysis.fluidflow`) and Erlang occupancy for sessions
+(:mod:`repro.analysis.erlang`) — and feeds it into each cell's
+:class:`~repro.radio.channel.SharedChannel` as a time-varying
+*background claim*, while a small discrete foreground cohort keeps
+full packet-level metrics.
+
+Deterministic by construction: the layer draws no random streams —
+every claim is closed-form arithmetic over the spec — so hybrid runs
+keep the repo's byte-reproducibility guarantee, and a disabled block
+(``fluid=None`` or ``population=0``) wires nothing at all, leaving
+legacy runs byte-identical.  See ``docs/HYBRID.md`` for the model, its
+assumptions and when hybrid results are comparable to all-discrete
+runs.
+"""
+
+from repro.fluid.config import FluidBackground
+from repro.fluid.driver import (
+    FluidDriver,
+    fluid_channel_pairs,
+    install_fluid_background,
+)
+from repro.fluid.model import (
+    CellBackgroundState,
+    cell_background_state,
+    disc_rect_overlap_fraction,
+)
+
+__all__ = [
+    "CellBackgroundState",
+    "FluidBackground",
+    "FluidDriver",
+    "cell_background_state",
+    "disc_rect_overlap_fraction",
+    "fluid_channel_pairs",
+    "install_fluid_background",
+]

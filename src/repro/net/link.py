@@ -214,7 +214,7 @@ class Link:
         self.stats.bytes_sent += packet.size
 
         arrival_delay = (finish + self.delay) - now
-        self.sim.schedule(arrival_delay, self._deliver, packet)
+        self.sim.call_later(arrival_delay, self._deliver, packet)
         return True
 
     # ------------------------------------------------------------------
@@ -222,7 +222,7 @@ class Link:
     # ------------------------------------------------------------------
     def channel_serialized(self, packet: "Packet") -> None:
         """Airtime finished: start propagation toward the tail node."""
-        self.sim.schedule(self.delay, self._deliver, packet)
+        self.sim.call_later(self.delay, self._deliver, packet)
 
     def channel_drop(self, packet: "Packet") -> None:
         """The channel cancelled a queued packet (claim detached).

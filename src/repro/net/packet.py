@@ -22,9 +22,14 @@ _packet_ids = itertools.count(1)
 IP_HEADER_BYTES = 20
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
-    """One IP datagram (or an encapsulated datagram)."""
+    """One IP datagram (or an encapsulated datagram).
+
+    Slotted: packets are the highest-churn object in any traffic-bearing
+    run (every hop holds one in its queue tuple), so they carry no
+    per-instance ``__dict__``.
+    """
 
     src: IPAddress
     dst: IPAddress
@@ -42,8 +47,13 @@ class Packet:
     paged: bool = False
 
     def __post_init__(self) -> None:
-        self.src = IPAddress(self.src)
-        self.dst = IPAddress(self.dst)
+        # Coerce only when needed: copies and forwarded packets already
+        # carry IPAddress instances, and re-wrapping them per packet is
+        # measurable at scale.
+        if type(self.src) is not IPAddress:
+            self.src = IPAddress(self.src)
+        if type(self.dst) is not IPAddress:
+            self.dst = IPAddress(self.dst)
         if self.size <= 0:
             raise ValueError(f"packet size must be positive, got {self.size}")
 

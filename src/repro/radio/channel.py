@@ -164,7 +164,7 @@ class _AirtimeServer(Resource):
     def _schedule_arbitration(self) -> None:
         if not self._arbitration_pending:
             self._arbitration_pending = True
-            self.sim.schedule(0.0, self._arbitrate)
+            self.sim.call_later(0.0, self._arbitrate)
 
     def _arbitrate(self) -> None:
         self._arbitration_pending = False
@@ -262,6 +262,14 @@ class SharedChannel:
             DOWNLINK: {},
             UPLINK: {},
         }
+        #: Analytic background claims (bit/s) from the hybrid fluid
+        #: layer (:mod:`repro.fluid`), per direction.  Zero by default
+        #: — the legacy-identical state.
+        self.background = {DOWNLINK: 0.0, UPLINK: 0.0}
+        #: Residual budgets the discrete foreground serializes against
+        #: (``rate - background``); kept in lockstep by
+        #: :meth:`set_background` so :meth:`airtime` stays one lookup.
+        self._effective = dict(self.rates)
         self.stats = ChannelStats()
 
     def __repr__(self) -> str:
@@ -306,6 +314,10 @@ class SharedChannel:
         if self.admission_factor is None:
             return True
         committed = sum(d for k, d in self.claims.items() if k != key)
+        # The fluid layer's background claim counts as committed load:
+        # a cell carrying 100k analytic mobiles has that much less
+        # headroom for discrete newcomers.  Zero in non-hybrid runs.
+        committed += self.background[DOWNLINK]
         if committed + float(demand) <= self.admission_factor * self.rates[DOWNLINK]:
             return True
         self.admission_rejects += 1
@@ -338,9 +350,36 @@ class SharedChannel:
     # ------------------------------------------------------------------
     # Transmission (called by Link.transmit for channel-gated links)
     # ------------------------------------------------------------------
+    def set_background(
+        self, direction: str, bps: float, max_fraction: float = 0.95
+    ) -> float:
+        """Set the analytic background claim for ``direction``.
+
+        The hybrid fluid layer calls this each refresh: ``bps`` of the
+        direction's budget is considered spoken for by untracked
+        background mobiles, so discrete transmissions serialize at the
+        *residual* rate and admission control counts the claim as
+        committed demand.  The claim is clamped to ``max_fraction`` of
+        the budget (the foreground must keep some airtime) and the
+        applied value is returned.  ``set_background(d, 0.0)`` restores
+        the legacy budget exactly.
+        """
+        if direction not in self.rates:
+            raise ValueError(f"unknown direction {direction!r}")
+        rate = self.rates[direction]
+        applied = min(max(0.0, float(bps)), max_fraction * rate)
+        self.background[direction] = applied
+        self._effective[direction] = rate - applied
+        return applied
+
     def airtime(self, direction: str, packet: "Packet") -> float:
-        """Seconds of airtime ``packet`` occupies in ``direction``."""
-        return packet.size * 8.0 / self.rates[direction]
+        """Seconds of airtime ``packet`` occupies in ``direction``.
+
+        Hybrid runs serialize against the residual budget
+        (``rate - background``); with no background claim this is the
+        full budget, bit-identical to the pre-fluid formula.
+        """
+        return packet.size * 8.0 / self._effective[direction]
 
     def submit(self, link: "Link", packet: "Packet") -> None:
         """Queue ``packet`` from ``link`` for airtime.
@@ -382,7 +421,7 @@ class SharedChannel:
         seconds = self.airtime(direction, request.packet)
         self.stats.granted[direction] += 1
         self.stats.busy_seconds[direction] += seconds
-        self.sim.schedule(seconds, self._finish, request)
+        self.sim.call_later(seconds, self._finish, request)
 
     def _finish(self, request: "_AirtimeRequest") -> None:
         """Serialization done: free the server, start propagation."""

@@ -23,6 +23,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
+from repro.fluid.config import FluidBackground
 from repro.policy.config import PolicyConfig
 
 #: Mobility model keys a spec may apportion the population across.
@@ -150,6 +151,17 @@ class ScenarioSpec:
         path; ``"cellularip"``; ``"cellularip-hard"``; ``"mobileip"``).
         Validated against the registry at construction, so a typo
         fails eagerly with the registered names listed.
+    fluid:
+        The hybrid background block, a
+        :class:`~repro.fluid.config.FluidBackground` (a plain mapping
+        is coerced).  ``None`` (default) or ``population=0`` is the
+        all-discrete legacy path, byte-identical to pre-fluid builds.
+        A positive background population is modelled analytically
+        (fluid-flow crossing rates + Erlang occupancy) and fed into
+        each cell's shared channel as time-varying background claims,
+        so a non-empty block requires :meth:`channels_enabled`.  The
+        discrete ``population`` above becomes the tracked foreground
+        cohort.  See ``docs/HYBRID.md``.
     policy:
         The tier-selection policy block, a
         :class:`~repro.policy.config.PolicyConfig` (a plain mapping is
@@ -184,6 +196,7 @@ class ScenarioSpec:
     domain_overrides: Mapping[str, object] = field(default_factory=dict)
     stack: str = "multitier"
     policy: PolicyConfig = field(default_factory=PolicyConfig)
+    fluid: Optional[FluidBackground] = None
     notes: str = ""
 
     def __post_init__(self) -> None:
@@ -247,6 +260,23 @@ class ScenarioSpec:
             raise ValueError(
                 f"{self.name}: policy must be a PolicyConfig or mapping, "
                 f"got {self.policy!r}"
+            )
+        if isinstance(self.fluid, Mapping):
+            object.__setattr__(self, "fluid", FluidBackground(**dict(self.fluid)))
+        if self.fluid is not None and not isinstance(self.fluid, FluidBackground):
+            raise ValueError(
+                f"{self.name}: fluid must be a FluidBackground, mapping or "
+                f"None, got {self.fluid!r}"
+            )
+        if (
+            self.fluid is not None
+            and self.fluid.enabled
+            and not self.channels_enabled()
+        ):
+            raise ValueError(
+                f"{self.name}: a fluid background population requires shared "
+                f"channels (set a channel bandwidth) — background claims "
+                f"have nothing to claim on legacy unconstrained radios"
             )
         if not self.channels_enabled():
             if self.policy.admission_factor is not None:

@@ -10,6 +10,7 @@ at once.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Callable, Generator, Iterable, Optional
 
 from repro.sim.errors import Interrupt
@@ -124,11 +125,16 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: object = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(sim)
+        # Event.__init__ and Simulator._enqueue inlined: Timeout is the
+        # highest-churn event type (every process tick allocates one),
+        # so it pays no double-initialization or call overhead.
+        self.sim = sim
+        self.callbacks = []
         self.delay = delay
         self._ok = True
         self._value = value
-        sim._enqueue(self, delay=delay, priority=NORMAL)
+        self._defused = False
+        heappush(sim._queue, (sim._now + delay, NORMAL, next(sim._eid), self))
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay} at {id(self):#x}>"
@@ -140,11 +146,14 @@ class Initialize(Event):
     __slots__ = ()
 
     def __init__(self, sim: "Simulator", process: "Process") -> None:
-        super().__init__(sim)
-        self._ok = True
+        # Flattened like Timeout.__init__ (one heap entry per process
+        # start; high-churn in scenario builders spawning thousands).
+        self.sim = sim
+        self.callbacks = [process._resume]
         self._value = None
-        self.callbacks.append(process._resume)
-        sim._enqueue(self, delay=0.0, priority=URGENT)
+        self._ok = True
+        self._defused = False
+        heappush(sim._queue, (sim._now, URGENT, next(sim._eid), self))
 
 
 class _Interruption(Event):

@@ -40,6 +40,22 @@ from repro.sim.events import (
 Until = Union[None, float, int, Event]
 
 
+class _Callback(Event):
+    """A pooled fire-and-forget callback entry (kernel-internal).
+
+    :meth:`Simulator.call_later` uses these instead of a full
+    :class:`Timeout` + closure: the dispatch loop special-cases them
+    (call ``fn(*args)``, recycle the object into the simulator's free
+    list) so the hottest scheduling pattern in the code base — a link
+    delivering a packet, a channel finishing a serialization — pays no
+    event allocation once the pool is warm.  Never exposed to callers;
+    anything that needs to *wait* on scheduled work goes through
+    :meth:`Simulator.schedule`, which still returns a real event.
+    """
+
+    __slots__ = ("fn", "args")
+
+
 class Simulator:
     """A minimal but complete discrete-event simulation kernel."""
 
@@ -48,6 +64,8 @@ class Simulator:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = count()
         self._active_process: Optional[Process] = None
+        #: Recycled :class:`_Callback` instances (object pooling).
+        self._callback_pool: list[_Callback] = []
 
     # ------------------------------------------------------------------
     # Clock and scheduling
@@ -76,6 +94,32 @@ class Simulator:
         event = Timeout(self, delay)
         event.callbacks.append(lambda _event: callback(*args))
         return event
+
+    def call_later(self, delay: float, fn, *args) -> None:
+        """Run ``fn(*args)`` after ``delay`` time units (no return event).
+
+        The fast fire-and-forget path: identical queue ordering to
+        :meth:`schedule` (one event-id per call, NORMAL priority) but
+        the queue entry is a pooled :class:`_Callback` the dispatch
+        loop recycles, so hot paths allocate nothing once warm.  Use
+        :meth:`schedule` instead when the caller needs an event to
+        wait on.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        pool = self._callback_pool
+        if pool:
+            event = pool.pop()
+        else:
+            event = _Callback.__new__(_Callback)
+            event.sim = self
+            event.callbacks = None
+            event._value = None
+            event._ok = True
+            event._defused = False
+        event.fn = fn
+        event.args = args
+        heappush(self._queue, (self._now + delay, NORMAL, next(self._eid), event))
 
     # ------------------------------------------------------------------
     # Event factories
@@ -115,6 +159,13 @@ class Simulator:
             raise EmptySchedule() from None
         self._now = when
 
+        if event.__class__ is _Callback:
+            fn, args = event.fn, event.args
+            event.fn = event.args = None
+            self._callback_pool.append(event)
+            fn(*args)
+            return
+
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
@@ -151,11 +202,31 @@ class Simulator:
                         f"until ({stop_at}) must not be before now ({self._now})"
                     )
 
+        # The dispatch loop is step() inlined with everything hot bound
+        # to locals — this function dominates every benchmark, so the
+        # per-event overhead (method dispatch, try/except, attribute
+        # loads) is paid here, once, instead of per event.
+        queue = self._queue
+        pool = self._callback_pool
+        pop = heappop
         try:
-            while self._queue:
-                if stop_at is not None and self._queue[0][0] > stop_at:
+            while queue:
+                if stop_at is not None and queue[0][0] > stop_at:
                     break
-                self.step()
+                when, _priority, _eid, event = pop(queue)
+                self._now = when
+                if event.__class__ is _Callback:
+                    fn, args = event.fn, event.args
+                    event.fn = event.args = None
+                    pool.append(event)
+                    fn(*args)
+                    continue
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    # Nobody handled a failed event: surface it loudly.
+                    raise event._value
         except StopSimulation as stop:
             return stop.value
         if isinstance(until, Event):

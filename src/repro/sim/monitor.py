@@ -101,7 +101,13 @@ class TimeWeightedGauge:
 
 
 class Monitor:
-    """A namespace of named counters, gauges and series for one run."""
+    """A namespace of named counters, gauges and series for one run.
+
+    Lookup methods do a single dict probe (``.get`` + create-on-miss)
+    because probes sit on per-packet paths in large runs.
+    """
+
+    __slots__ = ("_sim", "counters", "series", "gauges")
 
     def __init__(self, sim: Optional["Simulator"] = None) -> None:
         self._sim = sim
@@ -110,31 +116,41 @@ class Monitor:
         self.gauges: dict[str, TimeWeightedGauge] = {}
 
     def counter(self, name: str) -> Counter:
-        if name not in self.counters:
-            self.counters[name] = Counter(name)
-        return self.counters[name]
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter(name)
+        return counter
 
     def count(self, name: str, amount: int = 1) -> None:
-        self.counter(name).increment(amount)
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter(name)
+        counter.increment(amount)
 
     def get_count(self, name: str) -> int:
         counter = self.counters.get(name)
         return counter.value if counter else 0
 
     def timeseries(self, name: str) -> Series:
-        if name not in self.series:
-            self.series[name] = Series(name)
-        return self.series[name]
+        series = self.series.get(name)
+        if series is None:
+            series = self.series[name] = Series(name)
+        return series
 
     def record(self, name: str, time: float, value: float) -> None:
-        self.timeseries(name).record(time, value)
+        series = self.series.get(name)
+        if series is None:
+            series = self.series[name] = Series(name)
+        series.times.append(time)
+        series.values.append(value)
 
     def gauge(self, name: str, initial: float = 0.0) -> TimeWeightedGauge:
-        if name not in self.gauges:
+        gauge = self.gauges.get(name)
+        if gauge is None:
             if self._sim is None:
                 raise ValueError("gauges require a Monitor bound to a Simulator")
-            self.gauges[name] = TimeWeightedGauge(self._sim, name, initial)
-        return self.gauges[name]
+            gauge = self.gauges[name] = TimeWeightedGauge(self._sim, name, initial)
+        return gauge
 
     def snapshot(self) -> dict[str, float]:
         """A flat dict of every counter value and gauge time-average."""

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
 from repro.cellularip import CIPBaseStation, CIPDomain, CIPGateway, CIPMobileHost
+from repro.fluid.driver import FluidDriver
 from repro.net.addressing import AddressAllocator
 from repro.net.packet import Packet
 from repro.net.topology import Network
@@ -111,6 +112,7 @@ class BuiltCIPScenario:
     controllers: list[_CIPController]
     flow_plans: list[FlowPlan]
     channel_plan: Optional[ChannelPlan]
+    fluid_driver: Optional[FluidDriver] = None
     sources: list[TrafficSource] = field(default_factory=list)
     sinks: list[FlowSink] = field(default_factory=list)
 
@@ -168,6 +170,8 @@ class BuiltCIPScenario:
                 [bs.shared_channel for bs in self.domain.base_stations],
                 spec.warmup + spec.duration + spec.drain,
             ))
+        if self.fluid_driver is not None:
+            metrics.update(self.fluid_driver.metrics())
         return metrics
 
 
@@ -301,6 +305,21 @@ def build_cip_scenario(
                 hosts[index].address,
             ))
 
+    # Hybrid background: analytic claims on every contended flat cell.
+    # CIP stations don't carry their cell, so the pairs are zipped here.
+    fluid_driver = None
+    if spec.fluid is not None and spec.fluid.enabled:
+        fluid_driver = FluidDriver(
+            sim,
+            spec.fluid,
+            [
+                (cell, stations_by_cell[cell.name].shared_channel)
+                for cell in cells
+                if stations_by_cell[cell.name].shared_channel is not None
+            ],
+            roam,
+        )
+
     return BuiltCIPScenario(
         spec=spec,
         seed=int(seed),
@@ -311,6 +330,7 @@ def build_cip_scenario(
         controllers=controllers,
         flow_plans=flow_plans,
         channel_plan=channel_plan,
+        fluid_driver=fluid_driver,
     )
 
 

@@ -32,6 +32,7 @@ from repro.mobileip import (
     install_home_prefix_routes,
 )
 from repro.multitier.architecture import HOME_PREFIX
+from repro.fluid.driver import FluidDriver
 from repro.net.addressing import AddressAllocator
 from repro.net.packet import Packet
 from repro.net.topology import Network
@@ -112,6 +113,7 @@ class BuiltMIPScenario:
     controllers: list[_MIPController]
     flow_plans: list[FlowPlan]
     channel_plan: Optional[ChannelPlan]
+    fluid_driver: Optional[FluidDriver] = None
     sources: list[TrafficSource] = field(default_factory=list)
     sinks: list[FlowSink] = field(default_factory=list)
 
@@ -178,6 +180,8 @@ class BuiltMIPScenario:
                 [agent.shared_channel for agent in self.agents],
                 spec.warmup + spec.duration + spec.drain,
             ))
+        if self.fluid_driver is not None:
+            metrics.update(self.fluid_driver.metrics())
         return metrics
 
 
@@ -336,6 +340,20 @@ def build_mip_scenario(spec: ScenarioSpec, seed: int) -> BuiltMIPScenario:
                 nodes[index].home_address,
             ))
 
+    # Hybrid background: analytic claims on every contended flat cell.
+    fluid_driver = None
+    if spec.fluid is not None and spec.fluid.enabled:
+        fluid_driver = FluidDriver(
+            sim,
+            spec.fluid,
+            [
+                (cell, agents_by_cell[cell.name].shared_channel)
+                for cell in cells
+                if agents_by_cell[cell.name].shared_channel is not None
+            ],
+            roam,
+        )
+
     return BuiltMIPScenario(
         spec=spec,
         seed=int(seed),
@@ -347,6 +365,7 @@ def build_mip_scenario(spec: ScenarioSpec, seed: int) -> BuiltMIPScenario:
         controllers=controllers,
         flow_plans=flow_plans,
         channel_plan=channel_plan,
+        fluid_driver=fluid_driver,
     )
 
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.fluid.driver import FluidDriver, install_fluid_background
 from repro.multitier.architecture import MobilityController, MultiTierWorld
 from repro.multitier.mobile import MultiTierMobileNode
 from repro.net.packet import Packet
@@ -63,6 +64,7 @@ class BuiltScenario:
     traffic_assignment: list[str]
     hotspot_indices: list[int]
     flow_plans: list[FlowPlan]
+    fluid_driver: "FluidDriver | None" = None
     sources: list[TrafficSource] = field(default_factory=list)
     sinks: list[FlowSink] = field(default_factory=list)
 
@@ -160,6 +162,10 @@ class BuiltScenario:
             # including the contention-mode goldens — keep their table
             # shape byte-identical.
             metrics.update(self.world.decision_trace.metric_counts())
+        if self.fluid_driver is not None:
+            # Hybrid runs only: the fluid.* family (same gating rule as
+            # air_*/policy.* — fluid-off tables keep their shape).
+            metrics.update(self.fluid_driver.metrics())
         return metrics
 
 
@@ -290,6 +296,13 @@ def build_multitier_scenario(spec: ScenarioSpec, seed: int) -> BuiltScenario:
             )
             flow_plans.append(plan)
 
+    # Hybrid background (no-op returning None unless the spec carries a
+    # non-empty fluid block): one analytic driver over every contended
+    # cell, claiming airtime the discrete cohort then contends for.
+    fluid_driver = install_fluid_background(
+        world.sim, spec, world.all_radio_stations(), roam
+    )
+
     return BuiltScenario(
         spec=spec,
         seed=int(seed),
@@ -300,6 +313,7 @@ def build_multitier_scenario(spec: ScenarioSpec, seed: int) -> BuiltScenario:
         traffic_assignment=traffic_assignment,
         hotspot_indices=hotspot_indices,
         flow_plans=flow_plans,
+        fluid_driver=fluid_driver,
     )
 
 
@@ -349,6 +363,11 @@ class MultiTierStack(StackAdapter):
             )
         if spec.policy.weighted_airtime:
             features.append("weighted airtime shares (demand-proportional)")
+        if spec.fluid is not None and spec.fluid.enabled:
+            features.append(
+                f"hybrid fluid background "
+                f"({spec.fluid.population} analytic mobiles)"
+            )
         return features
 
 

@@ -133,3 +133,95 @@ def test_merge_preserves_unrelated_entries():
     merged = tool.merge(baseline, collected)
     assert set(merged["entries"]) == {"old_bench", "new_bench"}
     assert merged["schema"] == tool.SCHEMA
+
+
+# ----------------------------------------------------------------------
+# Trajectory: the persisted speed history across collections
+# ----------------------------------------------------------------------
+def test_baseline_trajectory_is_present_and_well_formed():
+    """The committed file carries the speed history the ROADMAP
+    promises: at least one point per collection, and the latest point's
+    means match the latest entries (same collection run)."""
+    baseline = json.loads(BASELINE.read_text())
+    trajectory = baseline["trajectory"]
+    assert isinstance(trajectory, list) and trajectory
+    for point in trajectory:
+        assert isinstance(point["datetime"], str)
+        assert isinstance(point["means"], dict) and point["means"]
+        for mean in point["means"].values():
+            assert isinstance(mean, (int, float)) and mean == mean
+    latest = trajectory[-1]
+    for name, entry in baseline["entries"].items():
+        assert latest["means"][name] == entry["stats"]["mean"]
+
+
+def test_baseline_trajectory_records_kernel_speedup():
+    """PR 9's kernel fast path: the latest trajectory point's kernel
+    means must not regress past the first (pre-optimization) point.
+
+    Compared with slack (2x) because both points were measured on
+    whatever machine collected them — this pins 'the history shows no
+    order-of-magnitude regression', not exact timings."""
+    trajectory = json.loads(BASELINE.read_text())["trajectory"]
+    assert len(trajectory) >= 2, "expected pre- and post-optimization points"
+    first, latest = trajectory[0]["means"], trajectory[-1]["means"]
+    for name in (
+        "test_bench_kernel_event_throughput",
+        "test_bench_packet_forwarding_throughput",
+    ):
+        assert latest[name] <= first[name] * 2.0, (
+            f"{name}: trajectory shows a regression "
+            f"({first[name]:.4f}s -> {latest[name]:.4f}s)"
+        )
+
+
+def test_check_flags_missing_or_malformed_trajectory():
+    tool = _load_tool()
+    baseline = json.loads(BASELINE.read_text())
+    no_trajectory = {k: v for k, v in baseline.items() if k != "trajectory"}
+    assert any("trajectory" in p for p in tool.check(no_trajectory))
+    malformed = dict(baseline)
+    malformed["trajectory"] = [{"datetime": "d", "means": {}}]
+    assert any("means" in p for p in tool.check(malformed))
+    bad_mean = dict(baseline)
+    bad_mean["trajectory"] = [
+        {"datetime": "d", "means": {"bench": float("nan")}}
+    ]
+    assert any("non-numeric" in p for p in tool.check(bad_mean))
+
+
+def test_merge_appends_trajectory_and_migrates_schema1():
+    """Merging over a pre-trajectory (schema 1) baseline keeps the old
+    stats as the history's first point instead of dropping them."""
+    tool = _load_tool()
+    old = {
+        "schema": 1,
+        "datetime": "2026-01-01T00:00:00",
+        "machine": "x86_64",
+        "entries": {
+            "bench_a": {
+                "file": "x.py",
+                "stats": {"min": 0.9, "max": 1.1, "mean": 1.0,
+                          "stddev": 0.01, "rounds": 3},
+            }
+        },
+    }
+    collected = {
+        "machine": "x86_64",
+        "datetime": "2026-02-01T00:00:00",
+        "entries": {
+            "bench_a": {
+                "file": "x.py",
+                "stats": {"min": 0.4, "max": 0.6, "mean": 0.5,
+                          "stddev": 0.01, "rounds": 3},
+            }
+        },
+    }
+    merged = tool.merge(old, collected, label="speedup")
+    assert merged["schema"] == tool.SCHEMA
+    assert [p["means"]["bench_a"] for p in merged["trajectory"]] == [1.0, 0.5]
+    assert merged["trajectory"][0]["label"] == "pre-trajectory baseline"
+    assert merged["trajectory"][1]["label"] == "speedup"
+    # A second merge appends (no re-migration).
+    again = tool.merge(merged, collected, label="again")
+    assert len(again["trajectory"]) == 3

@@ -1,8 +1,8 @@
 """Docs-debt guard: the public API must stay documented.
 
 Walks ``__all__`` of the scenario subsystem, the execution engine, the
-campaign runner, the policy engine, and the radio and mobility
-packages (their public APIs are the package
+campaign runner, the policy engine, the hybrid fluid layer, and the
+radio and mobility packages (their public APIs are the package
 ``__init__`` exports plus the shared-channel module) and asserts every
 exported callable/class (and every public method defined on an
 exported class) carries a real docstring, and that each module states
@@ -20,6 +20,10 @@ import repro.campaign.manifest
 import repro.campaign.queue
 import repro.campaign.store
 import repro.experiments.exec
+import repro.fluid
+import repro.fluid.config
+import repro.fluid.driver
+import repro.fluid.model
 import repro.mobility
 import repro.policy
 import repro.policy.config
@@ -49,6 +53,10 @@ MODULES = [
     repro.scenarios.compare,
     repro.scenarios.sweep,
     repro.experiments.exec,
+    repro.fluid,
+    repro.fluid.config,
+    repro.fluid.driver,
+    repro.fluid.model,
     repro.campaign,
     repro.campaign.manifest,
     repro.campaign.queue,

@@ -1,0 +1,202 @@
+"""Micro-regression pins for the kernel fast path.
+
+The PR 9 speed work changed the hottest structures in the simulator —
+pooled ``_Callback`` events behind :meth:`Simulator.call_later`, an
+inlined dispatch loop in :meth:`Simulator.run`, ``__slots__`` on
+:class:`~repro.net.packet.Packet` and the monitor probes.  None of
+that may move a single event: this file pins the ordering contract
+(time, then priority, then scheduling order) across both scheduling
+APIs, the pool's recycling semantics, and the exact totals the leaner
+Monitor accounting produces.  The 16 experiment-table goldens pin the
+same contract end-to-end; these tests localize a violation.
+"""
+
+import pytest
+
+from repro.net.packet import Packet
+from repro.sim import Simulator
+from repro.sim.events import NORMAL, URGENT, Timeout
+from repro.sim.kernel import _Callback
+from repro.sim.monitor import Monitor
+
+
+# ----------------------------------------------------------------------
+# Ordering: time, then priority, then event id
+# ----------------------------------------------------------------------
+def test_urgent_events_preempt_normal_events_at_the_same_time():
+    sim = Simulator()
+    seen = []
+    Timeout(sim, 1.0).callbacks.append(lambda e: seen.append("normal-first"))
+    urgent = sim.event()
+    urgent.callbacks.append(lambda e: seen.append("urgent"))
+    sim._enqueue(urgent, delay=1.0, priority=URGENT)
+    Timeout(sim, 1.0).callbacks.append(lambda e: seen.append("normal-second"))
+    sim.run()
+    assert seen == ["urgent", "normal-first", "normal-second"]
+    assert URGENT < NORMAL  # the heap invariant the test relies on
+
+
+def test_same_time_same_priority_fires_in_scheduling_order():
+    sim = Simulator()
+    seen = []
+    for tag in range(8):
+        sim.schedule(2.0, seen.append, tag)
+    sim.run()
+    assert seen == list(range(8))
+
+
+def test_call_later_and_schedule_interleave_in_creation_order():
+    """``call_later`` consumes exactly one event id per call, so mixing
+    the fast path with ``schedule`` at one timestamp keeps creation
+    order — the determinism contract that let links and channels move
+    to the pooled path without disturbing a single golden byte."""
+    sim = Simulator()
+    seen = []
+    sim.call_later(1.0, seen.append, "a")
+    sim.schedule(1.0, seen.append, "b")
+    sim.call_later(1.0, seen.append, "c")
+    sim.schedule(1.0, seen.append, "d")
+    sim.run()
+    assert seen == ["a", "b", "c", "d"]
+
+
+def test_call_later_rejects_negative_delay_and_passes_args():
+    sim = Simulator()
+    with pytest.raises(ValueError, match="negative delay"):
+        sim.call_later(-0.1, lambda: None)
+    seen = []
+    sim.call_later(0.5, lambda *args: seen.append(args), 1, "two", 3.0)
+    sim.run()
+    assert seen == [(1, "two", 3.0)]
+    assert sim.now == 0.5
+
+
+def test_step_processes_pooled_callbacks_like_run_does():
+    sim = Simulator()
+    seen = []
+    sim.call_later(1.0, seen.append, "stepped")
+    sim.step()
+    assert seen == ["stepped"] and sim.now == 1.0
+
+
+def test_run_until_includes_pooled_callbacks_at_the_stop_time():
+    sim = Simulator()
+    seen = []
+    sim.call_later(1.0, seen.append, "at-stop")
+    sim.call_later(1.0 + 1e-9, seen.append, "after-stop")
+    sim.run(until=1.0)
+    assert seen == ["at-stop"]
+    assert sim.now == 1.0
+
+
+# ----------------------------------------------------------------------
+# The callback pool
+# ----------------------------------------------------------------------
+def test_fired_callbacks_are_recycled_through_the_pool():
+    sim = Simulator()
+    assert sim._callback_pool == []
+    sim.call_later(1.0, lambda: None)
+    sim.run()
+    assert len(sim._callback_pool) == 1
+    recycled = sim._callback_pool[0]
+    # Recycled entries drop their payload (no leaked references)...
+    assert recycled.fn is None and recycled.args is None
+    # ...and the next call_later reuses the exact same object.
+    sim.call_later(1.0, lambda: None)
+    assert sim._callback_pool == []
+    assert sim._queue[-1][3] is recycled
+    sim.run()
+    assert sim._callback_pool == [recycled]
+
+
+def test_pool_size_tracks_peak_in_flight_not_total_calls():
+    sim = Simulator()
+    fired = []
+
+    def chain():
+        fired.append(sim.now)
+        if len(fired) < 100:
+            sim.call_later(1.0, chain)  # one in flight at a time
+
+    sim.call_later(1.0, chain)
+    sim.run()
+    assert len(fired) == 100
+    assert len(sim._callback_pool) == 1  # 100 calls, one pooled object
+    for _ in range(10):
+        sim.call_later(1.0, lambda: None)  # ten in flight at once
+    sim.run()
+    assert len(sim._callback_pool) == 10
+
+
+def test_callbacks_scheduled_from_a_callback_keep_ordering():
+    sim = Simulator()
+    seen = []
+
+    def reschedule():
+        seen.append(("outer", sim.now))
+        sim.call_later(0.0, seen.append, ("inner", sim.now))
+
+    sim.call_later(1.0, reschedule)
+    sim.call_later(1.0, seen.append, ("sibling", 1.0))
+    sim.run()
+    # The re-scheduled callback lands after the already-queued sibling
+    # at the same timestamp (fresh event id), exactly like schedule().
+    assert seen == [("outer", 1.0), ("sibling", 1.0), ("inner", 1.0)]
+
+
+def test_pooled_callback_type_is_internal_only_and_slotted():
+    sim = Simulator()
+    assert sim.call_later(0.0, lambda: None) is None  # no waitable event
+    entry = _Callback.__new__(_Callback)
+    with pytest.raises(AttributeError):
+        entry.not_a_slot = 1  # Event + _Callback are fully __slots__-ed
+
+
+# ----------------------------------------------------------------------
+# Monitor accounting after the __slots__ / single-probe changes
+# ----------------------------------------------------------------------
+def test_monitor_totals_are_pinned():
+    sim = Simulator()
+    monitor = Monitor(sim)
+    for _ in range(3):
+        monitor.count("handoffs")
+    monitor.count("handoffs", 2)
+    monitor.record("delay", 1.0, 10.0)
+    monitor.record("delay", 2.0, 30.0)
+    gauge = monitor.gauge("queue")
+    Timeout(sim, 1.0).callbacks.append(lambda e: gauge.set(4.0))
+    Timeout(sim, 3.0).callbacks.append(lambda e: gauge.set(0.0))
+    sim.run(until=4.0)
+    assert monitor.get_count("handoffs") == 5
+    assert monitor.get_count("never-touched") == 0
+    series = monitor.timeseries("delay")
+    assert (series.times, series.values) == ([1.0, 2.0], [10.0, 30.0])
+    snapshot = monitor.snapshot()
+    assert snapshot["count.handoffs"] == 5
+    assert snapshot["series.delay.mean"] == 20.0
+    assert snapshot["gauge.queue"] == pytest.approx(4.0 * 2.0 / 4.0)
+
+
+def test_monitor_lookup_methods_return_the_same_object():
+    monitor = Monitor()
+    assert monitor.counter("x") is monitor.counter("x")
+    assert monitor.timeseries("y") is monitor.timeseries("y")
+    monitor.count("x")
+    assert monitor.counter("x").value == 1
+    monitor.record("y", 0.0, 1.0)
+    assert len(monitor.timeseries("y")) == 1
+
+
+def test_monitor_and_packet_carry_no_instance_dict():
+    """``__slots__`` actually took: the high-churn objects allocate no
+    per-instance ``__dict__`` (the point of the memory work), and
+    Packet's field coercion still runs."""
+    monitor = Monitor()
+    with pytest.raises(AttributeError):
+        monitor.not_a_slot = 1
+    packet = Packet(src="10.0.0.1", dst="10.0.0.2", size=100)
+    with pytest.raises(AttributeError):
+        packet.not_a_field = 1
+    assert int(packet.src) and int(packet.dst)  # str coerced to IPAddress
+    copy = packet.copy()
+    assert copy.src == packet.src and copy is not packet

@@ -17,10 +17,14 @@ under ``pytest-benchmark --benchmark-json``, reduces each benchmark to
 a small stats record and **merges** it into the baseline: entries for
 benchmarks that ran are replaced, entries for benchmarks that did not
 run (e.g. collecting on a subset) are preserved, and the result is
-written with sorted keys so diffs stay minimal.  ``--check`` validates
-the committed file's shape without running anything (used by the test
-suite): it must parse, carry the schema version, and every entry must
-have the numeric stats fields.
+written with sorted keys so diffs stay minimal.  Every collection also
+appends a **trajectory point** (per-bench means, datetime, optional
+``--label``) to the file's ``trajectory`` list, so the speed history
+across PRs stays readable instead of being overwritten.  ``--check``
+validates the committed file's shape without running anything (used by
+the test suite): it must parse, carry the schema version, every entry
+must have the numeric stats fields, and the trajectory must be a
+non-empty list of well-formed points.
 
 Timings are machine-dependent by nature; the baseline records them for
 trend reading, while the *shape* (which benchmarks exist, how they are
@@ -51,10 +55,32 @@ BENCH_FILES = (
     "benchmarks/bench_scenario_stacks.py",
 )
 
-SCHEMA = 1
+SCHEMA = 2
 
 #: Per-benchmark stats copied from the pytest-benchmark report.
 _STAT_FIELDS = ("min", "max", "mean", "stddev", "rounds")
+
+
+def trajectory_point(collected: dict, label: str = "") -> dict:
+    """Reduce one collection to a trajectory point: name -> mean.
+
+    The trajectory is the baseline's history dimension — one point per
+    collection run, so speedups (and regressions) across PRs stay
+    readable in the committed file instead of being overwritten by the
+    latest merge.  Means only: the full stats of the *latest* run live
+    in ``entries``.
+    """
+    means = {}
+    for name, entry in sorted(collected["entries"].items()):
+        mean = entry.get("stats", {}).get("mean")
+        if isinstance(mean, (int, float)):
+            means[name] = mean
+    return {
+        "datetime": collected.get("datetime", ""),
+        "machine": collected.get("machine", ""),
+        "label": label,
+        "means": means,
+    }
 
 
 def collect(files=BENCH_FILES) -> dict:
@@ -88,15 +114,28 @@ def collect(files=BENCH_FILES) -> dict:
     }
 
 
-def merge(baseline: dict, collected: dict) -> dict:
-    """New collection overrides matching entries, preserves the rest."""
+def merge(baseline: dict, collected: dict, label: str = "") -> dict:
+    """New collection overrides matching entries, preserves the rest.
+
+    Also **appends** a trajectory point for the collection (see
+    :func:`trajectory_point`).  A pre-trajectory baseline (schema 1)
+    is migrated, not discarded: its committed stats become the
+    trajectory's first point so the history starts at the old numbers.
+    """
     entries = dict(baseline.get("entries", {}))
     entries.update(collected["entries"])
+    trajectory = list(baseline.get("trajectory", []))
+    if not trajectory and baseline.get("entries"):
+        trajectory.append(
+            trajectory_point(baseline, label="pre-trajectory baseline")
+        )
+    trajectory.append(trajectory_point(collected, label))
     return {
         "schema": SCHEMA,
         "machine": collected["machine"],
         "datetime": collected["datetime"],
         "entries": entries,
+        "trajectory": trajectory,
     }
 
 
@@ -123,6 +162,29 @@ def check(baseline: dict) -> list[str]:
                 problems.append(f"{name}: stats.{field} missing or non-numeric")
         if not isinstance(entry.get("file"), str) or not entry["file"]:
             problems.append(f"{name}: missing source file")
+    trajectory = baseline.get("trajectory")
+    if not isinstance(trajectory, list) or not trajectory:
+        problems.append(
+            "trajectory must be a non-empty list (collect at least once)"
+        )
+    else:
+        for position, point in enumerate(trajectory):
+            if not isinstance(point, dict):
+                problems.append(f"trajectory[{position}]: not a mapping")
+                continue
+            if not isinstance(point.get("datetime"), str):
+                problems.append(f"trajectory[{position}]: missing datetime")
+            means = point.get("means")
+            if not isinstance(means, dict) or not means:
+                problems.append(
+                    f"trajectory[{position}]: means must be a non-empty mapping"
+                )
+                continue
+            for name, mean in means.items():
+                if not isinstance(mean, (int, float)) or mean != mean:
+                    problems.append(
+                        f"trajectory[{position}]: mean for {name} non-numeric"
+                    )
     return problems
 
 
@@ -175,6 +237,11 @@ def main(argv=None) -> int:
         help="with --check --report: fail when a fresh mean exceeds the "
              "baseline mean by more than this factor (default: 5)",
     )
+    parser.add_argument(
+        "--label", default="",
+        help="free-text label recorded on the new trajectory point "
+             "(collect mode only), e.g. the PR or change being measured",
+    )
     args = parser.parse_args(argv)
     if args.report is not None and not args.check:
         parser.error("--report only makes sense with --check")
@@ -197,9 +264,13 @@ def main(argv=None) -> int:
             f"{'OK' if not problems else f'{len(problems)} problem(s)'}"
         )
         return 1 if problems else 0
-    merged = merge(load_baseline(), collect())
+    merged = merge(load_baseline(), collect(), label=args.label)
     BASELINE.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {BASELINE.relative_to(REPO)} ({len(merged['entries'])} entries)")
+    print(
+        f"wrote {BASELINE.relative_to(REPO)} "
+        f"({len(merged['entries'])} entries, "
+        f"{len(merged['trajectory'])} trajectory point(s))"
+    )
     return 0
 
 
