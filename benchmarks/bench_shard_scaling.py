@@ -1,0 +1,55 @@
+"""Shard-scaling bench: wall-clock and events/sec at 1, 2 and 4 shards.
+
+Runs the two-domain ``commuter-corridor`` smoke scenario through
+:func:`repro.shard.runner.run_scenario_spec_sharded` at each shard
+count and records one pytest-benchmark timing per count, so the
+conservative-sync overhead (and any multi-core win) shows up in the
+bench history next to the kernel numbers.  Every point also checks the
+shard determinism contract in miniature: the metric dict must be
+byte-identical to the serial run, and the harvested event count must
+be positive.  Collected into ``benchmarks/BENCH_kernel.json`` by
+``tools/update_bench_baseline.py`` and gated by the CI tolerance band.
+"""
+
+import multiprocessing
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.scenarios import get_scenario, run_scenario_spec
+from repro.shard.runner import run_scenario_spec_sharded
+
+#: Shard counts the scaling curve samples (1 = the monolithic path).
+SHARD_COUNTS = (1, 2, 4)
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="platform lacks fork",
+)
+
+
+def _spec():
+    return get_scenario("commuter-corridor").smoke()
+
+
+@needs_fork
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_bench_shard_scaling(benchmark, shards):
+    spec = _spec()
+    stats: dict = {}
+
+    def job():
+        stats.clear()
+        return run_scenario_spec_sharded(spec, 1, shards, stats=stats)
+
+    metrics = run_once(benchmark, job)
+    # Determinism contract: shard count never changes a metric byte.
+    assert metrics == run_scenario_spec(spec, 1)
+    # Shape: the run simulated real work and reported its event count.
+    assert stats["events"] > 0
+    assert 1 <= stats["groups"] <= shards
+    benchmark.extra_info["events"] = stats["events"]
+    benchmark.extra_info["groups"] = stats["groups"]
+    benchmark.extra_info["events_per_sec"] = (
+        stats["events"] / benchmark.stats.stats.mean
+    )

@@ -90,7 +90,9 @@ class FluidDriver:
         self._blocking_weight = 0.0
         self._blocking_sum = 0.0
         self._crossing_sum = 0.0
-        sim.process(self._run(), name="fluid-driver")
+        #: The driver's refresh process (shard runs neuter this when the
+        #: radio part lives in another shard).
+        self.process = sim.process(self._run(), name="fluid-driver")
 
     # ------------------------------------------------------------------
     def _states(self, now: float) -> list[CellBackgroundState]:

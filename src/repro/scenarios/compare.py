@@ -113,6 +113,7 @@ def compare_scenario_stacks(
     seeds: Optional[Iterable[int]] = None,
     confidence: float = 0.95,
     backend: Optional[ExecutionBackend] = None,
+    shards: int = 1,
 ) -> list[StackComparison]:
     """Run scenarios under several stacks as ONE backend batch.
 
@@ -122,8 +123,10 @@ def compare_scenario_stacks(
     across that spec's stacks, so columns are paired by seed).  The
     whole (scenario, stack, seed) grid goes through a single
     :meth:`ExecutionBackend.run` call, so a pool's work-stealing queue
-    balances heavyweight stacks against light ones.  Deterministic:
-    same inputs, same backend-independent output.
+    balances heavyweight stacks against light ones.  ``shards > 1``
+    decomposes every run spatially (see :mod:`repro.shard`) with
+    byte-identical metrics.  Deterministic: same inputs, same
+    backend-independent output.
     """
     names = list(stacks) if stacks is not None else stack_names()
     if not names:
@@ -135,7 +138,11 @@ def compare_scenario_stacks(
         spec.replace(stack=name) for spec in specs for name in names
     ]
     batch = replicate_scenarios(
-        derived, seeds=seeds, confidence=confidence, backend=backend
+        derived,
+        seeds=seeds,
+        confidence=confidence,
+        backend=backend,
+        shards=shards,
     )
     comparisons: list[StackComparison] = []
     offset = 0

@@ -1,0 +1,49 @@
+"""Conservative spatial domain decomposition across processes.
+
+``repro.shard`` splits one simulation into shards cut at wired
+backhaul links, runs each shard's event loop in its own forked
+process, and synchronizes them with null messages whose lookahead is
+the cut link's propagation delay (Chandy–Misra–Bryant).  The headline
+contract is determinism, not just speed: for every registered stack,
+``shards=N`` produces the byte-identical metric dict to the serial
+run — see ``docs/SHARDING.md`` for the cut rules, the lookahead
+derivation, and when to prefer ``--shards`` over ``--jobs`` or the
+fluid hybrid.
+
+Modules: :mod:`~repro.shard.plan` (where to cut),
+:mod:`~repro.shard.boundary` (neutering replicas and proxying cut
+links), :mod:`~repro.shard.transport` (pipes over fork, queues for
+tests), :mod:`~repro.shard.driver` (the conservative loop), and
+:mod:`~repro.shard.runner` (the public entry point).
+"""
+
+from repro.shard.boundary import (
+    inject_arrival,
+    install_boundary_exports,
+    neuter_foreign_parts,
+)
+from repro.shard.driver import ShardDriver
+from repro.shard.plan import BoundaryLink, ShardPlan, make_shard_plan
+from repro.shard.runner import merge_harvests, run_scenario_spec_sharded
+from repro.shard.transport import (
+    Endpoint,
+    LocalTransport,
+    PeerAborted,
+    PipeTransport,
+)
+
+__all__ = [
+    "BoundaryLink",
+    "Endpoint",
+    "LocalTransport",
+    "PeerAborted",
+    "PipeTransport",
+    "ShardDriver",
+    "ShardPlan",
+    "inject_arrival",
+    "install_boundary_exports",
+    "make_shard_plan",
+    "merge_harvests",
+    "neuter_foreign_parts",
+    "run_scenario_spec_sharded",
+]

@@ -1,0 +1,129 @@
+"""Turning one replicated build into one shard: neuter and proxy.
+
+Every shard of a sharded run builds the **full** world for its
+``(spec, seed)`` — same seeded streams, same geometry, same
+link-registry order — and then specializes it with the two operations
+here:
+
+* :func:`neuter_foreign_parts` swaps the root process generators of
+  every part the shard does *not* own for immediate no-ops, before
+  virtual time starts.  The replica keeps the complete topology (so
+  link ids and routing tables line up) but only the owned region ever
+  acts; un-owned machinery stays quiescent and consumes nothing but
+  its single start event.
+* :func:`install_boundary_exports` hooks every cut link whose head the
+  shard owns: an accepted transmission is announced to the tail-owning
+  shard at *send* time with its computed arrival time, making the link
+  delay the channel's conservative lookahead.  Sender-side stats keep
+  accruing locally (delivery accounting is per head-owner, and the
+  harvest merge sums the per-shard hop maps).
+
+:func:`inject_arrival` is the receiving half: the tail-owning shard
+replays ``tail.receive`` at exactly the announced arrival time via the
+kernel's fast callback path.
+
+Determinism: all three operations are pure functions of the replicated
+build and the :class:`~repro.shard.plan.ShardPlan`, applied in fixed
+registry/part order, so every shard derives the identical specialized
+world from the identical replica.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.net.link import link_registry
+
+
+def _noop() -> object:
+    """Generator that terminates immediately (the neutered body)."""
+    return
+    yield  # pragma: no cover - generator protocol only
+
+
+def neuter_foreign_parts(built, owned) -> int:
+    """Silence every root process of the parts not in ``owned``.
+
+    Swaps each foreign process's generator for an immediate no-op
+    *before* its ``Initialize`` event fires, so the process terminates
+    at its start event without touching the world.  Must run after the
+    build and before the first ``sim.run``.  Returns the number of
+    processes neutered.  Deterministic: fixed part and build order.
+    """
+    neutered = 0
+    for part in built.SHARD_PARTS:
+        if part in owned:
+            continue
+        for process in built.shard_processes(part):
+            process._generator = _noop()
+            neutered += 1
+    return neutered
+
+
+def install_boundary_exports(built, plan, group: int, announce: Callable) -> int:
+    """Hook every owned-head cut link to announce sends to its tail owner.
+
+    ``announce(dst_group, link_id, packet, t_arrival)`` is called at
+    transmit time for each accepted packet on a boundary link whose
+    head part belongs to ``group``; the driver forwards it over the
+    transport.  Refuses (with :class:`RuntimeError`) links that violate
+    the cut rules — the planner never produces such cuts, so hitting
+    the guard means plan and world disagree.  Returns the number of
+    links hooked.  Deterministic: plan order.
+    """
+    registry = link_registry(built.sim)
+    hooked = 0
+    for boundary in plan.boundaries:
+        if boundary.src_group != group:
+            continue
+        link = registry.links[boundary.link_id]
+        if link.delay <= 0.0 or link.loss_rate > 0.0 or (
+            link.shared_channel is not None
+        ):
+            raise RuntimeError(
+                f"boundary link {link.name!r} violates the cut rules; "
+                "the shard plan is inconsistent with the built world"
+            )
+        link._export = _make_export(
+            announce, boundary.dst_group, boundary.link_id
+        )
+        hooked += 1
+    return hooked
+
+
+def _make_export(announce: Callable, dst_group: int, link_id: int):
+    """Bind one boundary link's announce callback (late-binding safe)."""
+
+    def export(packet, t_arrival: float) -> None:
+        announce(dst_group, link_id, packet, t_arrival)
+
+    return export
+
+
+def inject_arrival(built, link_id: int, packet, t_arrival: float) -> None:
+    """Replay a cross-shard packet arrival in the tail-owning replica.
+
+    Schedules ``tail.receive(packet, link)`` at ``t_arrival`` on the
+    replica's own copy of the boundary link (found by registry index —
+    identical across replicated builds).  The replica's link stats are
+    left untouched: delivery accounting lives with the head owner and
+    the harvest merge would otherwise double count.  Raises on a
+    causality violation (arrival in the local past), which a correct
+    conservative sync can never produce.  Deterministic given the
+    driver's sorted injection order.
+    """
+    sim = built.sim
+    if t_arrival < sim.now:
+        raise RuntimeError(
+            f"causality violation: arrival at t={t_arrival} injected at "
+            f"t={sim.now} (conservative lookahead bug)"
+        )
+    link = link_registry(sim).links[link_id]
+    sim.call_later(t_arrival - sim.now, link.tail.receive, packet, link)
+
+
+__all__ = [
+    "inject_arrival",
+    "install_boundary_exports",
+    "neuter_foreign_parts",
+]

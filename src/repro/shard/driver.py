@@ -1,0 +1,280 @@
+"""The per-shard conservative event loop (null-message sync).
+
+Each shard advances its replica with the classic
+Chandy–Misra–Bryant conservative discipline, specialised to this
+code base's fixed two-phase measurement protocol:
+
+* **Channels and bounds.**  For every inbound channel the shard keeps
+  the latest *bound* its peer promised: "I will send no packet that
+  arrives before this time."  Bounds start at 0.0.  The shard's
+  *horizon* is the minimum inbound bound; it may freely simulate
+  strictly below it.
+* **Lock-step rounds.**  Per round the shard (1) advances to just
+  below its horizon (``math.nextafter(horizon, -inf)`` — ``run`` is
+  inclusive), during which boundary transmits are announced to their
+  tail owners at send time; (2) sends one null message per outbound
+  channel promising ``min(peek, horizon, phase_end) + lookahead`` —
+  ``peek`` covers its own pending events, ``horizon`` covers sends
+  triggered by packets it has not yet received, ``phase_end`` covers
+  the flows the barrier will start, and the lookahead is the minimum
+  cut-link delay of the channel; (3) blocks until one null arrived on
+  every inbound channel, buffering packet announcements.  Because
+  every channel is FIFO, all packets a peer sent before its null are
+  in hand when the null arrives; they are injected in deterministic
+  ``(arrival, link, sequence)`` order.  Bounds ratchet by at least
+  the lookahead per round, so the protocol is deadlock-free for the
+  positive delays the planner guarantees.
+* **Phase barriers.**  When the horizon clears the phase end the
+  shard runs inclusively to it, sends a final null promising
+  ``phase_end + lookahead`` (sound: post-barrier flows start at the
+  barrier and still pay the link delay) plus a ``phase`` marker, then
+  drains every inbound channel up to its marker — the cross-shard
+  equivalent of everyone reaching ``sim.run(until=T)``.  Flows are
+  then started by their owning part, split exactly along the
+  monolithic start order.
+* **Migrations.**  :meth:`ShardDriver.send_migration` ships opaque
+  mobile state between shards under the same lookahead contract: the
+  effective time must be at least ``now + lookahead``, and delivery
+  order is deterministic alongside packet injections.
+
+Determinism: the loop consumes messages per channel (never by global
+arrival order), injects in sorted order, and mirrors the monolithic
+warmup/traffic/drain structure exactly, which is what makes a sharded
+run byte-identical to the serial one.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import count
+from typing import Callable
+
+from repro.shard.boundary import (
+    inject_arrival,
+    install_boundary_exports,
+    neuter_foreign_parts,
+)
+from repro.shard.transport import Endpoint, PeerAborted
+
+
+class ShardDriver:
+    """Drives one shard group's replica through a full measurement run.
+
+    Construct with the shard's replicated build, the run's
+    :class:`~repro.shard.plan.ShardPlan`, this shard's group index and
+    its transport :class:`~repro.shard.transport.Endpoint`; then call
+    :meth:`execute` once.  Deterministic: see the module docstring.
+    """
+
+    def __init__(self, built, plan, group: int, endpoint: Endpoint) -> None:
+        self.built = built
+        self.plan = plan
+        self.group = int(group)
+        self.endpoint = endpoint
+        self.sim = built.sim
+        self.owned = frozenset(plan.groups[self.group])
+        #: src group -> conservative lookahead of that inbound channel.
+        self.inbound = plan.inbound(self.group)
+        #: dst group -> conservative lookahead of that outbound channel.
+        self.outbound = plan.outbound(self.group)
+        #: src group -> latest promised bound (starts at virtual 0).
+        self.bounds = {src: 0.0 for src in self.inbound}
+        self._phase_done: set[int] = set()
+        self._pending: list[tuple] = []
+        self._send_seq = count()
+        self._migration_handlers: dict[str, Callable] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def execute(self) -> dict:
+        """Run warmup -> flow starts -> traffic+drain; return the harvest.
+
+        Mirrors :func:`repro.stacks.base.run_measurement_phases` with a
+        conservative phase barrier in place of each plain ``run`` call,
+        and the flow-start loop split by owning part.  Returns the
+        shard's picklable harvest with its kernel event count attached
+        under ``"_events"``.
+        """
+        built = self.built
+        spec = built.spec
+        neuter_foreign_parts(built, self.owned)
+        install_boundary_exports(built, self.plan, self.group, self._announce)
+        self._advance_phase(spec.warmup)
+        self._start_owned_flows()
+        self._advance_phase(spec.warmup + spec.duration + spec.drain)
+        harvest = built.harvest(self.owned)
+        harvest["_events"] = self.sim.events_processed
+        return harvest
+
+    def on_migrate(self, key: str, handler: Callable) -> None:
+        """Register ``handler(state)`` for migrations addressed to ``key``.
+
+        The handler runs at the migration's effective virtual time in
+        this shard's replica, ordered deterministically alongside
+        packet injections.
+        """
+        self._migration_handlers[key] = handler
+
+    def send_migration(
+        self, dst_group: int, key: str, state: object, t_effective: float
+    ) -> None:
+        """Ship opaque mobile state to ``dst_group``, effective later.
+
+        ``t_effective`` must respect the channel lookahead
+        (``>= now + lookahead``) so the receiving shard can never have
+        simulated past it; violating that raises :class:`ValueError`
+        instead of silently corrupting causality.  ``state`` must be
+        picklable for the pipe transport.
+        """
+        lookahead = self.outbound[dst_group]
+        if t_effective < self.sim.now + lookahead:
+            raise ValueError(
+                f"migration effective at t={t_effective} violates the "
+                f"channel lookahead (now={self.sim.now}, "
+                f"lookahead={lookahead})"
+            )
+        self.endpoint.send(
+            dst_group,
+            ("migrate", t_effective, key, next(self._send_seq), state),
+        )
+
+    # ------------------------------------------------------------------
+    # Sender side
+    # ------------------------------------------------------------------
+    def _announce(self, dst_group, link_id, packet, t_arrival) -> None:
+        """Forward one boundary transmit to the tail-owning shard."""
+        self.endpoint.send(
+            dst_group,
+            ("pkt", link_id, next(self._send_seq), t_arrival, packet),
+        )
+
+    # ------------------------------------------------------------------
+    # The conservative loop
+    # ------------------------------------------------------------------
+    def _advance_phase(self, phase_end: float) -> None:
+        """Advance the replica to ``phase_end`` (inclusive), conservatively.
+
+        Lock-step rounds below the horizon, then the phase-barrier
+        exit: inclusive run, final null + ``phase`` marker per
+        outbound channel, and a drain of every inbound channel up to
+        its marker so all shards leave the phase together.
+        """
+        sim = self.sim
+        while self.bounds:
+            horizon = min(self.bounds.values())
+            if horizon > phase_end:
+                break
+            target = math.nextafter(horizon, -math.inf)
+            if target > sim.now:
+                sim.run(until=target)
+            promise = min(sim.peek(), horizon, phase_end)
+            for dst in sorted(self.outbound):
+                self.endpoint.send(
+                    dst, ("null", promise + self.outbound[dst])
+                )
+            self._receive_round()
+        sim.run(until=phase_end)
+        for dst in sorted(self.outbound):
+            self.endpoint.send(dst, ("null", phase_end + self.outbound[dst]))
+            self.endpoint.send(dst, ("phase",))
+        self._drain_phase_markers()
+        self._phase_done.clear()
+
+    def _receive_round(self) -> None:
+        """Block until one null (or marker) arrived per open channel."""
+        waiting = set(self.bounds) - self._phase_done
+        while waiting:
+            src, message = self.endpoint.recv()
+            if self._consume(src, message):
+                waiting.discard(src)
+        self._inject_pending()
+
+    def _drain_phase_markers(self) -> None:
+        """Consume inbound channels up to their phase markers (barrier)."""
+        while len(self._phase_done) < len(self.bounds):
+            src, message = self.endpoint.recv()
+            self._consume(src, message)
+        self._inject_pending()
+
+    def _consume(self, src: int, message: tuple) -> bool:
+        """Apply one transport message; True when it closes a round slot."""
+        kind = message[0]
+        if kind == "pkt":
+            _kind, link_id, seq, t_arrival, packet = message
+            self._pending.append((t_arrival, 0, link_id, src, seq, packet))
+            return False
+        if kind == "migrate":
+            _kind, t_effective, key, seq, state = message
+            self._pending.append((t_effective, 1, key, src, seq, state))
+            return False
+        if kind == "null":
+            bound = message[1]
+            if bound > self.bounds[src]:
+                self.bounds[src] = bound
+            return True
+        if kind == "phase":
+            if src in self._phase_done:
+                raise RuntimeError(
+                    f"shard {src} delivered two phase markers in one "
+                    "phase; the barrier protocol is out of step"
+                )
+            self._phase_done.add(src)
+            return True
+        if kind == "abort":
+            raise PeerAborted(f"shard {src} aborted mid-protocol")
+        raise RuntimeError(f"unexpected shard message kind {kind!r}")
+
+    def _inject_pending(self) -> None:
+        """Schedule buffered cross-shard deliveries in deterministic order.
+
+        Sorted by ``(time, kind, link-or-key, source, sequence)`` so
+        the injection order — and therefore the kernel's tie-break
+        order for simultaneous arrivals — is a pure function of the
+        messages, independent of transport interleaving.
+        """
+        if not self._pending:
+            return
+        self._pending.sort(key=lambda entry: entry[:5])
+        sim = self.sim
+        for t_arrival, rank, key, _src, _seq, payload in self._pending:
+            if rank == 0:
+                inject_arrival(self.built, key, payload, t_arrival)
+            else:
+                handler = self._migration_handlers[key]
+                if t_arrival < sim.now:
+                    raise RuntimeError(
+                        f"migration {key!r} effective at t={t_arrival} "
+                        f"arrived at t={sim.now} (lookahead bug)"
+                    )
+                sim.call_later(t_arrival - sim.now, handler, payload)
+        self._pending.clear()
+
+    # ------------------------------------------------------------------
+    # Phase barrier helpers
+    # ------------------------------------------------------------------
+    def _start_owned_flows(self) -> None:
+        """Start this shard's half of every planned flow, in plan order.
+
+        A group owning both the sender ("cn") and receiver ("radio")
+        parts uses the exact monolithic ``FlowPlan.start`` path; split
+        groups run the sender creation and the receiver hook
+        separately, composing to the same per-plan order.
+        """
+        built = self.built
+        duration = built.spec.duration
+        if "cn" in self.owned and "radio" in self.owned:
+            for plan in built.flow_plans:
+                built.sources.append(plan.start(duration))
+                built.sinks.append(plan.sink)
+            return
+        if "cn" in self.owned:
+            for plan in built.flow_plans:
+                built.sources.append(plan.start_sender(duration))
+        if "radio" in self.owned:
+            for plan in built.flow_plans:
+                plan.attach_receiver()
+                built.sinks.append(plan.sink)
+
+
+__all__ = ["ShardDriver"]

@@ -1,0 +1,193 @@
+"""Cutting one built world into conservatively-synchronized shards.
+
+A :class:`ShardPlan` partitions a stack's :data:`SHARD_PARTS` (the
+coarse regions every ``Built*Scenario`` declares — radio access, the
+correspondent, the home side, the wired core) into at most ``shards``
+*groups*, then finds every registered link whose head and tail fall in
+different groups.  Those **boundary links** are the only coupling
+between groups, and each one's propagation delay is the conservative
+lookahead of its direction: a packet sent at ``t`` cannot arrive
+before ``t + delay``, so the receiving shard may safely simulate up to
+the sender's promised bound (see :mod:`repro.shard.driver`).
+
+Cut rules (violations merge the two groups instead of cutting):
+
+* never cut a link with zero propagation delay — lookahead would be 0
+  and the null-message protocol could not ratchet past a time tie;
+* never cut a lossy link — the in-flight loss draw is sender-side
+  state the receiving shard cannot replay;
+* never cut a shared-channel (radio) link — airtime arbitration is a
+  cross-link coupling that packets do not carry.
+
+The radio part is always planned as its own group first: every stack's
+mobility controllers hold direct references to stations across all
+domains, so the radio access network is indivisible; the parallelism
+comes from peeling the wired core/correspondent/home machinery off it.
+
+Determinism: groups are assigned by fixed part order and boundary
+links are discovered in link-registry order (identical across the
+replicated builds of one ``(spec, seed)``), so every shard of a run —
+and every re-run — computes the byte-identical plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.link import link_registry
+
+#: Part name every stack reserves for the indivisible radio access side.
+RADIO_PART = "radio"
+
+
+@dataclass(frozen=True)
+class BoundaryLink:
+    """One cut link: packets crossing it travel between shards.
+
+    ``link_id`` is the link's index in the per-simulator
+    :class:`~repro.net.link.LinkRegistry` — the replicated build gives
+    every shard the identical registry order, so the index alone names
+    the link across processes.  ``delay`` (the propagation delay) is
+    this direction's contribution to the channel lookahead.
+    """
+
+    link_id: int
+    src_group: int
+    dst_group: int
+    delay: float
+
+
+@dataclass
+class ShardPlan:
+    """The deterministic decomposition of one built world.
+
+    ``groups`` maps group index to the tuple of part names it owns;
+    ``boundaries`` lists every cut link; ``channels`` maps each
+    directed ``(src_group, dst_group)`` pair that shares at least one
+    cut link to its conservative lookahead (the minimum cut-link delay
+    in that direction).  Built by :func:`make_shard_plan`;
+    deterministic by construction.
+    """
+
+    groups: tuple[tuple[str, ...], ...]
+    boundaries: list[BoundaryLink] = field(default_factory=list)
+    channels: dict[tuple[int, int], float] = field(default_factory=dict)
+
+    @property
+    def n_groups(self) -> int:
+        """Number of shard groups (1 means the plan degenerated to serial)."""
+        return len(self.groups)
+
+    def group_of(self, part: str) -> int:
+        """The group index owning ``part`` (KeyError for unknown parts)."""
+        for index, parts in enumerate(self.groups):
+            if part in parts:
+                return index
+        raise KeyError(f"part {part!r} is not in any group")
+
+    def inbound(self, group: int) -> dict[int, float]:
+        """Map of source group -> lookahead for channels into ``group``."""
+        return {
+            src: lookahead
+            for (src, dst), lookahead in self.channels.items()
+            if dst == group
+        }
+
+    def outbound(self, group: int) -> dict[int, float]:
+        """Map of destination group -> lookahead for channels out of ``group``."""
+        return {
+            dst: lookahead
+            for (src, dst), lookahead in self.channels.items()
+            if src == group
+        }
+
+
+def _assign_groups(parts: tuple[str, ...], shards: int) -> list[tuple[str, ...]]:
+    """Deterministically coalesce ``parts`` into at most ``shards`` groups.
+
+    The radio part (if present) is peeled into its own group first; the
+    remaining parts are dealt round-robin, in declaration order, over
+    the remaining group slots.  Pure function of its arguments.
+    """
+    count = max(1, min(int(shards), len(parts)))
+    if count == 1:
+        return [tuple(parts)]
+    groups: list[list[str]] = [[] for _ in range(count)]
+    rest = [part for part in parts if part != RADIO_PART]
+    offset = 0
+    if RADIO_PART in parts:
+        groups[0].append(RADIO_PART)
+        offset = 1
+    slots = count - offset if count > offset else 1
+    for index, part in enumerate(rest):
+        groups[offset + (index % slots) if count > offset else 0].append(part)
+    return [tuple(group) for group in groups if group]
+
+
+def _cuttable(link) -> bool:
+    """True when ``link`` satisfies every boundary cut rule."""
+    return (
+        link.delay > 0.0
+        and link.loss_rate == 0.0
+        and link.shared_channel is None
+    )
+
+
+def make_shard_plan(built, shards: int) -> ShardPlan:
+    """Plan the decomposition of ``built`` into at most ``shards`` groups.
+
+    ``built`` is any ``Built*Scenario`` exposing the shard contract
+    (``SHARD_PARTS`` and ``shard_part``).  Groups joined by an
+    uncuttable link (zero delay, lossy, or shared-channel) are merged
+    until every remaining boundary satisfies the cut rules — in the
+    worst case the plan degenerates to one group and the caller runs
+    serially.  Deterministic: fixed part order, registry-order link
+    scan, stable merges.
+    """
+    parts = tuple(built.SHARD_PARTS)
+    grouping = _assign_groups(parts, shards)
+    links = list(link_registry(built.sim).links)
+
+    while True:
+        part_group = {
+            part: index
+            for index, group in enumerate(grouping)
+            for part in group
+        }
+        merge: tuple[int, int] | None = None
+        for link in links:
+            src = part_group[built.shard_part(link.head.name)]
+            dst = part_group[built.shard_part(link.tail.name)]
+            if src != dst and not _cuttable(link):
+                merge = (min(src, dst), max(src, dst))
+                break
+        if merge is None:
+            break
+        keep, absorb = merge
+        merged = list(grouping)
+        merged[keep] = tuple(merged[keep]) + tuple(merged[absorb])
+        del merged[absorb]
+        grouping = merged
+
+    plan = ShardPlan(groups=tuple(tuple(group) for group in grouping))
+    part_group = {
+        part: index for index, group in enumerate(plan.groups) for part in group
+    }
+    for link_id, link in enumerate(links):
+        src = part_group[built.shard_part(link.head.name)]
+        dst = part_group[built.shard_part(link.tail.name)]
+        if src == dst:
+            continue
+        plan.boundaries.append(
+            BoundaryLink(
+                link_id=link_id, src_group=src, dst_group=dst, delay=link.delay
+            )
+        )
+        channel = (src, dst)
+        known = plan.channels.get(channel)
+        if known is None or link.delay < known:
+            plan.channels[channel] = link.delay
+    return plan
+
+
+__all__ = ["RADIO_PART", "BoundaryLink", "ShardPlan", "make_shard_plan"]

@@ -1,0 +1,139 @@
+"""Entry point for sharded runs: fork, sync, merge, same bytes.
+
+:func:`run_scenario_spec_sharded` is the sharded counterpart of
+:func:`repro.scenarios.builder.run_scenario_spec`.  It plans the
+decomposition on a throwaway replica, forks one worker per shard
+group (each rebuilding the identical world from ``(spec, seed)`` and
+driving it with :class:`~repro.shard.driver.ShardDriver`), merges the
+per-shard harvests (sections are disjoint by part; per-link hop maps
+are summed), and feeds the merged harvest to the stack's own
+harvest-metric formulas.
+
+Degenerate cases take the exact legacy code path so they stay
+byte-identical by construction: ``shards <= 1``, a plan that
+collapsed to one group, and fork-less platforms (which warn once on
+stderr, like ``--jobs``, and run serially).
+
+Determinism contract: for any registered stack and any shard count,
+``run_scenario_spec_sharded(spec, seed, n)`` returns the
+byte-identical metric dict to ``run_scenario_spec(spec, seed)`` —
+enforced per stack by the tier-1 property suite and the CI parity
+gate.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+from typing import Optional
+
+from repro.scenarios.builder import build_scenario, run_scenario_spec
+from repro.shard.driver import ShardDriver
+from repro.shard.plan import make_shard_plan
+from repro.shard.transport import PipeTransport
+from repro.stacks.registry import get_stack
+
+_warned_degrade = False
+
+
+def _warn_serial_degrade(shards: int) -> None:
+    """Tell the user once per process that --shards is not honoured."""
+    global _warned_degrade
+    if _warned_degrade:
+        return
+    _warned_degrade = True
+    print(
+        f"repro: warning: --shards {shards} requested but this platform "
+        "lacks the 'fork' start method; running the simulation serially "
+        "(results are identical, just slower)",
+        file=sys.stderr,
+    )
+
+
+def merge_harvests(harvests: list) -> tuple[dict, int]:
+    """Union per-shard harvests into one; returns ``(merged, events)``.
+
+    Part-gated sections are disjoint across shards and merge by union;
+    the per-protocol ``hops`` maps (which every replica accrues for
+    the links it drives) merge by summation; the drivers' ``_events``
+    counters are stripped and summed into the second return value.
+    Deterministic: harvests arrive in group order and section keys
+    never collide.
+    """
+    merged: dict = {"hops": {}}
+    events = 0
+    hop_totals = merged["hops"]
+    for harvest in harvests:
+        for protocol, hops in harvest["hops"].items():
+            hop_totals[protocol] = hop_totals.get(protocol, 0) + hops
+        events += int(harvest.get("_events", 0))
+        for key, value in harvest.items():
+            if key in ("hops", "_events"):
+                continue
+            merged[key] = value
+    return merged, events
+
+
+def run_scenario_spec_sharded(
+    spec,
+    seed: int,
+    shards: int,
+    transport=None,
+    stats: Optional[dict] = None,
+) -> dict[str, float]:
+    """Run one ``(spec, seed)`` split across ``shards`` processes.
+
+    Returns the metric dict, byte-identical to the serial
+    :func:`~repro.scenarios.builder.run_scenario_spec`.  ``transport``
+    overrides the cross-shard transport (tests pass a
+    :class:`~repro.shard.transport.LocalTransport` to exercise the
+    protocol without fork); ``stats``, when given, is populated with
+    ``{"groups": n, "events": total_kernel_events}`` for benchmarks.
+    Deterministic for any shard count.
+    """
+    shards = int(shards)
+    if shards < 1:
+        raise ValueError(f"shards must be at least 1, got {shards}")
+
+    def _serial() -> dict[str, float]:
+        if stats is None:
+            return run_scenario_spec(spec, seed)
+        built = build_scenario(spec, seed)
+        metrics = built.execute()
+        stats["groups"] = 1
+        stats["events"] = built.sim.events_processed
+        return metrics
+
+    if shards == 1:
+        return _serial()
+
+    probe = build_scenario(spec, seed)
+    if not hasattr(probe, "SHARD_PARTS"):
+        raise TypeError(
+            f"stack {spec.stack!r} does not expose the shard contract "
+            "(SHARD_PARTS/shard_part/harvest)"
+        )
+    plan = make_shard_plan(probe, shards)
+    del probe
+    if plan.n_groups <= 1:
+        return _serial()
+
+    if transport is None:
+        if "fork" not in multiprocessing.get_all_start_methods():
+            _warn_serial_degrade(shards)
+            return _serial()
+        transport = PipeTransport()
+
+    def _shard_body(endpoint, group: int) -> dict:
+        built = build_scenario(spec, seed)
+        return ShardDriver(built, plan, group, endpoint).execute()
+
+    harvests = transport.run(plan.n_groups, _shard_body)
+    merged, events = merge_harvests(harvests)
+    if stats is not None:
+        stats["groups"] = plan.n_groups
+        stats["events"] = events
+    return get_stack(spec.stack).harvest_metrics(spec, merged)
+
+
+__all__ = ["merge_harvests", "run_scenario_spec_sharded"]

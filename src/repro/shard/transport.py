@@ -1,0 +1,324 @@
+"""Cross-shard message transport: pipes over fork, queues for tests.
+
+A sharded run needs N isolated simulators that exchange small ordered
+messages (packet announcements, null-message bounds, migrations, and
+final harvests).  Two transports implement the same contract:
+
+* :class:`PipeTransport` — fork one child process per shard group,
+  each connected to the parent by a duplex pipe.  The parent is a pure
+  relay star: it forwards ``("msg", dst, payload)`` envelopes between
+  children (tagging each with its source group), collects harvests,
+  and fails fast on the first child error, re-raising the original
+  exception with the worker traceback attached as its ``__cause__``
+  (the same :class:`~repro.experiments.exec.RemoteTraceback` idiom as
+  the process-pool backend).  Children inherit the built world and the
+  shard body by fork, so nothing but plain message tuples is pickled.
+* :class:`LocalTransport` — run every shard body on a thread in this
+  process with plain queues.  Slower (the GIL serializes the shards)
+  but fork-free, which makes it the deterministic reference transport
+  for unit tests and fork-less platforms.
+
+Ordering contract (what the conservative driver relies on): messages
+between one ordered pair of groups are delivered first-in-first-out.
+Pipes are FIFO and the parent forwards each child's stream in read
+order; the local transport appends to a FIFO queue per receiver.
+
+Determinism: transports never reorder a channel and never drop a
+message; shard-count determinism is the driver's job (it consumes
+messages by channel, not by global arrival order).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import queue as queue_module
+import sys
+import threading
+import traceback
+from typing import Callable, Optional
+
+from repro.experiments.exec import RemoteTraceback
+
+#: A shard body: ``body(endpoint, group_index) -> picklable harvest``.
+ShardBody = Callable[["Endpoint", int], object]
+
+
+class PeerAborted(RuntimeError):
+    """Raised inside a shard whose peer died mid-protocol.
+
+    The :class:`LocalTransport` broadcasts an ``("abort",)`` message on
+    a shard error so the surviving shards unblock instead of waiting
+    forever for null messages that will never come; the driver raises
+    this exception when it consumes one.  The transport then re-raises
+    the *root* error, never the cascade.
+    """
+
+
+class Endpoint:
+    """One shard's handle on the transport (send/recv message tuples).
+
+    The driver sends ``endpoint.send(dst_group, payload)`` and blocks
+    on ``endpoint.recv() -> (src_group, payload)``; payloads are plain
+    tuples.  Deterministic per-channel FIFO delivery is guaranteed by
+    every transport implementation.
+    """
+
+    def send(self, dst: int, payload: tuple) -> None:
+        """Queue ``payload`` for delivery to shard group ``dst``."""
+        raise NotImplementedError
+
+    def recv(self) -> tuple[int, tuple]:
+        """Block until the next ``(src_group, payload)`` message arrives."""
+        raise NotImplementedError
+
+
+class _PipeEndpoint(Endpoint):
+    """Child-process endpoint: one duplex pipe to the relay parent."""
+
+    def __init__(self, conn, group: int) -> None:
+        self.conn = conn
+        self.group = group
+
+    def send(self, dst: int, payload: tuple) -> None:
+        """Envelope ``payload`` for the parent to relay to ``dst``."""
+        self.conn.send(("msg", dst, payload))
+
+    def recv(self) -> tuple[int, tuple]:
+        """Read the next relayed ``(src_group, payload)`` off the pipe."""
+        kind, src, payload = self.conn.recv()
+        if kind != "msg":  # pragma: no cover - protocol guard
+            raise RuntimeError(f"unexpected relay message kind {kind!r}")
+        return src, payload
+
+
+def _pipe_child(conn, body: ShardBody, group: int) -> None:
+    """Run one shard body in a forked child and report its outcome."""
+    try:
+        harvest = body(_PipeEndpoint(conn, group), group)
+    except Exception as exc:
+        try:
+            import pickle
+
+            pickle.loads(pickle.dumps(exc))
+            wire_exc: Optional[Exception] = exc
+        except Exception:
+            wire_exc = None  # parent falls back to the traceback text
+        conn.send(("error", wire_exc, traceback.format_exc()))
+        return
+    finally:
+        sys.stdout.flush()
+        sys.stderr.flush()
+    conn.send(("harvest", harvest))
+
+
+class PipeTransport:
+    """Fork-per-shard transport with the parent as a relay star.
+
+    The parent never simulates: it forwards envelopes between child
+    pipes (one writer thread per child so a slow reader can never
+    stall the relay loop), gathers one harvest per child, and
+    fail-fasts on the first child error.  Requires the ``fork`` start
+    method (callers degrade to serial execution elsewhere when it is
+    missing).  Deterministic: per-channel FIFO relay, harvests
+    returned in group order.
+    """
+
+    def run(self, n_groups: int, body: ShardBody) -> list:
+        """Fork ``n_groups`` children running ``body``; return harvests.
+
+        Returns the per-group harvest list in group-index order.  On a
+        child failure every other child is terminated and the original
+        exception is re-raised with the worker traceback as its cause.
+        """
+        context = multiprocessing.get_context("fork")
+        parent_conns = []
+        workers = []
+        for group in range(n_groups):
+            parent_conn, child_conn = context.Pipe(duplex=True)
+            worker = context.Process(
+                target=_pipe_child,
+                args=(child_conn, body, group),
+                daemon=True,
+            )
+            parent_conns.append(parent_conn)
+            workers.append(worker)
+        for worker in workers:
+            worker.start()
+
+        # One outbound queue + writer thread per child: the relay loop
+        # below never blocks on a full pipe, so a child busy simulating
+        # cannot deadlock its peers through the parent.
+        out_queues: list[queue_module.Queue] = [
+            queue_module.Queue() for _ in range(n_groups)
+        ]
+
+        def _writer(conn, out_queue) -> None:
+            while True:
+                item = out_queue.get()
+                if item is None:
+                    return
+                try:
+                    conn.send(item)
+                except (BrokenPipeError, OSError):
+                    return  # child died; the relay loop reports it
+
+        writers = [
+            threading.Thread(
+                target=_writer, args=(conn, q), daemon=True
+            )
+            for conn, q in zip(parent_conns, out_queues)
+        ]
+        for writer in writers:
+            writer.start()
+
+        harvests: list = [None] * n_groups
+        done = [False] * n_groups
+        failure: Optional[tuple[Optional[Exception], str]] = None
+        by_conn = {id(conn): group for group, conn in enumerate(parent_conns)}
+        try:
+            while not all(done) and failure is None:
+                live = [
+                    conn
+                    for group, conn in enumerate(parent_conns)
+                    if not done[group]
+                ]
+                ready = multiprocessing.connection.wait(live, timeout=1.0)
+                if not ready:
+                    if any(
+                        not done[g] and not workers[g].is_alive()
+                        for g in range(n_groups)
+                    ):
+                        raise RuntimeError(
+                            "a shard process exited without reporting a "
+                            "harvest or an error"
+                        )
+                    continue
+                for conn in ready:
+                    src = by_conn[id(conn)]
+                    try:
+                        message = conn.recv()
+                    except EOFError:
+                        if not done[src]:
+                            raise RuntimeError(
+                                f"shard {src} closed its pipe without "
+                                "reporting a harvest or an error"
+                            ) from None
+                        continue
+                    kind = message[0]
+                    if kind == "msg":
+                        _kind, dst, payload = message
+                        out_queues[dst].put(("msg", src, payload))
+                    elif kind == "harvest":
+                        harvests[src] = message[1]
+                        done[src] = True
+                    elif kind == "error":
+                        failure = (message[1], message[2])
+                        break
+                    else:  # pragma: no cover - protocol guard
+                        raise RuntimeError(
+                            f"unexpected shard message kind {kind!r}"
+                        )
+        finally:
+            if failure is not None:
+                for worker in workers:
+                    worker.terminate()
+            for out_queue in out_queues:
+                out_queue.put(None)
+            for worker in workers:
+                worker.join(timeout=5.0)
+                if worker.is_alive():  # pragma: no cover - defensive
+                    worker.terminate()
+
+        if failure is not None:
+            exc, formatted = failure
+            if exc is not None:
+                raise exc from RemoteTraceback(formatted)
+            raise RuntimeError(
+                f"a shard failed with an unpicklable exception:\n{formatted}"
+            )
+        return harvests
+
+
+class _LocalEndpoint(Endpoint):
+    """In-process endpoint: direct queue delivery between shard threads."""
+
+    def __init__(self, inboxes: list, group: int) -> None:
+        self.inboxes = inboxes
+        self.group = group
+
+    def send(self, dst: int, payload: tuple) -> None:
+        """Append ``(self.group, payload)`` to the destination's inbox."""
+        self.inboxes[dst].put((self.group, payload))
+
+    def recv(self) -> tuple[int, tuple]:
+        """Block on this shard's own inbox for the next message."""
+        return self.inboxes[self.group].get()
+
+
+class LocalTransport:
+    """Thread-per-shard transport for tests and fork-less platforms.
+
+    Every shard body runs on a thread of this process with an
+    unbounded FIFO inbox, so message volume can never deadlock and no
+    pickling happens at all.  The GIL serializes actual execution —
+    this transport demonstrates correctness (byte-identity), not
+    speed.  Deterministic: per-channel FIFO by queue order.
+    """
+
+    def run(self, n_groups: int, body: ShardBody) -> list:
+        """Run ``n_groups`` shard bodies on threads; return their harvests.
+
+        Harvests are returned in group order.  The first shard error
+        (by group index) is re-raised in the caller with the shard
+        traceback attached as its ``__cause__``.
+        """
+        inboxes = [queue_module.Queue() for _ in range(n_groups)]
+        harvests: list = [None] * n_groups
+        errors: list = [None] * n_groups
+
+        def _shard(group: int) -> None:
+            try:
+                harvests[group] = body(_LocalEndpoint(inboxes, group), group)
+            except Exception as exc:
+                errors[group] = (exc, traceback.format_exc())
+                for dst, inbox in enumerate(inboxes):
+                    if dst != group:
+                        inbox.put((group, ("abort",)))
+
+        threads = [
+            threading.Thread(target=_shard, args=(group,), daemon=True)
+            for group in range(n_groups)
+        ]
+        for thread in threads:
+            thread.start()
+        deadline_join = 300.0  # generous: a wedged sync means a bug
+        for thread in threads:
+            thread.join(timeout=deadline_join)
+            if thread.is_alive():
+                raise RuntimeError(
+                    "shard thread did not finish; the conservative sync "
+                    "protocol is wedged (likely a lookahead bug)"
+                )
+        root = None
+        for error in errors:
+            if error is None:
+                continue
+            if root is None:
+                root = error
+            if not isinstance(error[0], PeerAborted):
+                root = error
+                break
+        if root is not None:
+            exc, formatted = root
+            raise exc from RemoteTraceback(formatted)
+        return harvests
+
+
+__all__ = [
+    "Endpoint",
+    "LocalTransport",
+    "PeerAborted",
+    "PipeTransport",
+    "ShardBody",
+]

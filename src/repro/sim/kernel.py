@@ -66,6 +66,10 @@ class Simulator:
         self._active_process: Optional[Process] = None
         #: Recycled :class:`_Callback` instances (object pooling).
         self._callback_pool: list[_Callback] = []
+        #: True while :meth:`run`'s dispatch loop is on the stack.
+        self._running = False
+        #: Total events dispatched by :meth:`run`/:meth:`step` so far.
+        self.events_processed = 0
 
     # ------------------------------------------------------------------
     # Clock and scheduling
@@ -158,6 +162,7 @@ class Simulator:
         except IndexError:
             raise EmptySchedule() from None
         self._now = when
+        self.events_processed += 1
 
         if event.__class__ is _Callback:
             fn, args = event.fn, event.args
@@ -187,7 +192,20 @@ class Simulator:
         * an :class:`Event` — run until that event has been processed and
           return its value (raises :class:`SimulationError` if the queue
           empties first).
+
+        ``run`` is not re-entrant: calling it from inside a dispatched
+        callback or process raises :class:`RuntimeError`.  A nested loop
+        would drain events past the outer loop's ``until`` bound and
+        then rewind the clock when the outer call returned — silently
+        corrupting event order.  Drivers that interleave several
+        bounded advances (e.g. the shard driver) call ``run`` serially
+        from the top level instead.
         """
+        if self._running:
+            raise RuntimeError(
+                "Simulator.run() is not re-entrant; it was called from "
+                "inside an event dispatched by an outer run()/step()"
+            )
         stop_at: Optional[float] = None
         if until is not None:
             if isinstance(until, Event):
@@ -209,12 +227,15 @@ class Simulator:
         queue = self._queue
         pool = self._callback_pool
         pop = heappop
+        processed = 0
+        self._running = True
         try:
             while queue:
                 if stop_at is not None and queue[0][0] > stop_at:
                     break
                 when, _priority, _eid, event = pop(queue)
                 self._now = when
+                processed += 1
                 if event.__class__ is _Callback:
                     fn, args = event.fn, event.args
                     event.fn = event.args = None
@@ -229,6 +250,9 @@ class Simulator:
                     raise event._value
         except StopSimulation as stop:
             return stop.value
+        finally:
+            self._running = False
+            self.events_processed += processed
         if isinstance(until, Event):
             raise SimulationError(
                 "event queue ran empty before the target event triggered"

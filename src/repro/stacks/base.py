@@ -84,6 +84,25 @@ def run_measurement_phases(sim, spec, flow_plans, sources, sinks, collect):
     return collect()
 
 
+def sink_state(sink: "FlowSink") -> dict[str, float]:
+    """One sink's metric-relevant state as a plain picklable dict.
+
+    The harvest/merge path of sharded runs (see :mod:`repro.shard`)
+    cannot ship live :class:`~repro.traffic.FlowSink` objects across
+    processes (they hold a simulator reference), so each stack harvests
+    this reduced state instead; the guarded statistics mirror exactly
+    the ``received > 0`` / ``received > 1`` conditions under which the
+    metric formulas read them.  Deterministic: pure counter readout.
+    """
+    return {
+        "received": sink.received,
+        "bytes_received": sink.bytes_received,
+        "mean_delay": sink.mean_delay() if sink.received > 0 else 0.0,
+        "jitter": sink.jitter() if sink.received > 1 else 0.0,
+        "max_gap": sink.max_gap() if sink.received > 1 else 0.0,
+    }
+
+
 def flow_metrics(
     spec: "ScenarioSpec",
     sources: list["TrafficSource"],
@@ -100,22 +119,41 @@ def flow_metrics(
     Deterministic: pure arithmetic over the run's counters; all values
     are plain floats and never NaN.
     """
-    sent = sum(source.packets_sent for source in sources)
-    received = sum(sink.received for sink in sinks)
-    delays = [s.mean_delay() for s in sinks if s.received > 0]
-    jitters = [s.jitter() for s in sinks if s.received > 1]
-    gaps = [s.max_gap() for s in sinks if s.received > 1]
-    elastic = [
-        (source, sink)
-        for source, sink, plan in zip(sources, sinks, flow_plans)
-        if plan.kind == "elastic-data"
-    ]
+    return flow_metrics_from_states(
+        spec,
+        [source.packets_sent for source in sources],
+        [sink_state(sink) for sink in sinks],
+        [plan.kind for plan in flow_plans],
+    )
+
+
+def flow_metrics_from_states(
+    spec: "ScenarioSpec",
+    packets_sent: list[int],
+    sink_states: list[dict],
+    kinds: list[str],
+) -> dict[str, float]:
+    """:func:`flow_metrics` over harvested (picklable) per-flow state.
+
+    The single definition both the monolithic path (live objects,
+    reduced via :func:`sink_state`) and the sharded merge path feed, so
+    shard count cannot change a single formula.  ``packets_sent``,
+    ``sink_states`` and ``kinds`` are index-aligned per flow plan.
+    Deterministic: pure arithmetic, plain never-NaN floats.
+    """
+    sent = sum(packets_sent)
+    received = sum(state["received"] for state in sink_states)
+    delays = [s["mean_delay"] for s in sink_states if s["received"] > 0]
+    jitters = [s["jitter"] for s in sink_states if s["received"] > 1]
+    gaps = [s["max_gap"] for s in sink_states if s["received"] > 1]
     goodput = [
-        sink.bytes_received * 8.0 / spec.duration for _, sink in elastic
+        state["bytes_received"] * 8.0 / spec.duration
+        for state, kind in zip(sink_states, kinds)
+        if kind == "elastic-data"
     ]
     return {
         "population": float(spec.population),
-        "flows": float(len(flow_plans)),
+        "flows": float(len(kinds)),
         "sent": float(sent),
         "received": float(received),
         "loss_rate": (1.0 - received / sent) if sent else 0.0,
@@ -185,6 +223,22 @@ class StackAdapter(abc.ABC):
         """Build and execute one run — the execution-backend job body."""
         return self.build(spec, seed).execute()
 
+    def harvest_metrics(
+        self, spec: "ScenarioSpec", harvest: dict
+    ) -> dict[str, float]:
+        """Compute the metric dict from a merged shard harvest.
+
+        Sharded runs (see :mod:`repro.shard`) reduce each shard's
+        state with the built scenario's ``harvest`` and merge the
+        results; this hook applies the stack's exact historical metric
+        formulas to that merged harvest.  Adapters that implement the
+        shard contract override it; the base refuses, so an unsharded
+        stack fails eagerly instead of returning wrong numbers.
+        """
+        raise NotImplementedError(
+            f"stack {self.name!r} does not support sharded runs"
+        )
+
     def exercised(self, spec: "ScenarioSpec") -> list[str]:
         """The adapter features ``spec`` exercises, for ``describe``.
 
@@ -211,5 +265,7 @@ __all__ = [
     "StackRun",
     "air_metrics",
     "flow_metrics",
+    "flow_metrics_from_states",
     "run_measurement_phases",
+    "sink_state",
 ]

@@ -200,3 +200,120 @@ def test_monitor_and_packet_carry_no_instance_dict():
     assert int(packet.src) and int(packet.dst)  # str coerced to IPAddress
     copy = packet.copy()
     assert copy.src == packet.src and copy is not packet
+
+
+# ----------------------------------------------------------------------
+# Run-loop hardening: re-entrancy guard and the event counter
+# ----------------------------------------------------------------------
+def test_run_is_not_reentrant_from_a_dispatched_callback():
+    """A nested run() would drain events past the outer until bound and
+    rewind the clock on return; the kernel refuses it loudly instead."""
+    sim = Simulator()
+    caught = []
+
+    def nested():
+        with pytest.raises(RuntimeError, match="not re-entrant"):
+            sim.run(until=5.0)
+        caught.append(sim.now)
+
+    sim.call_later(1.0, nested)
+    sim.call_later(2.0, lambda: None)
+    sim.run(until=3.0)
+    assert caught == [1.0]
+    assert sim.now == 3.0  # the outer bounded run finished normally
+
+
+def test_run_guard_resets_after_an_escaping_exception():
+    sim = Simulator()
+
+    def boom():
+        raise ValueError("event body failed")
+
+    sim.call_later(1.0, boom)
+    with pytest.raises(ValueError, match="event body failed"):
+        sim.run()
+    # The finally path cleared the flag: the simulator is reusable.
+    sim.call_later(1.0, lambda: None)
+    sim.run()
+    assert not sim._running
+
+
+def test_events_processed_counts_run_and_step_and_survives_errors():
+    sim = Simulator()
+    for index in range(5):
+        sim.call_later(float(index), lambda: None)
+    sim.step()
+    assert sim.events_processed == 1
+    sim.run()
+    assert sim.events_processed == 5
+
+    def boom():
+        raise ValueError("late failure")
+
+    sim.call_later(1.0, lambda: None)
+    sim.call_later(2.0, boom)
+    with pytest.raises(ValueError):
+        sim.run()
+    # Both the clean event and the failing one were flushed (finally).
+    assert sim.events_processed == 7
+
+
+def test_pool_recycling_survives_reentrant_scheduling_fuzz():
+    """schedule()/call_later() invoked from inside dispatched callbacks
+    (the inlined run loop) must keep the pool coherent: every scheduled
+    body fires exactly once, recycled entries are distinct objects, and
+    nothing in the pool still holds a payload."""
+    import random
+
+    rng = random.Random(1234)
+    sim = Simulator()
+    fired = []
+    budget = [400]
+
+    def body(tag):
+        fired.append(tag)
+        if budget[0] <= 0:
+            return
+        for _ in range(rng.randint(0, 3)):
+            budget[0] -= 1
+            child = (tag, budget[0])
+            if rng.random() < 0.5:
+                sim.call_later(rng.choice((0.0, 0.5, 1.0)), body, child)
+            else:
+                sim.schedule(sim.now + rng.choice((0.0, 0.5, 1.0)),
+                             body, child)
+
+    for index in range(10):
+        sim.call_later(float(index % 3), body, ("root", index))
+    sim.run()
+    assert len(fired) == len(set(fired))  # every body fired exactly once
+    assert len(fired) >= 10
+    pool = sim._callback_pool
+    assert len(pool) == len({id(entry) for entry in pool})
+    assert all(entry.fn is None and entry.args is None for entry in pool)
+    # The pool never exceeds the peak in-flight count (no unbounded growth).
+    assert len(pool) <= len(fired)
+
+    # Determinism spot check: the same fuzz replays identically.
+    rng2 = random.Random(1234)
+    sim2 = Simulator()
+    fired2 = []
+    budget2 = [400]
+
+    def body2(tag):
+        fired2.append(tag)
+        if budget2[0] <= 0:
+            return
+        for _ in range(rng2.randint(0, 3)):
+            budget2[0] -= 1
+            child = (tag, budget2[0])
+            if rng2.random() < 0.5:
+                sim2.call_later(rng2.choice((0.0, 0.5, 1.0)), body2, child)
+            else:
+                sim2.schedule(sim2.now + rng2.choice((0.0, 0.5, 1.0)),
+                              body2, child)
+
+    for index in range(10):
+        sim2.call_later(float(index % 3), body2, ("root", index))
+    sim2.run()
+    assert fired2 == fired

@@ -1,0 +1,446 @@
+"""Unit tests for the conservative spatial sharding layer (repro.shard).
+
+The tier-1 property suite pins the headline contract (shards(1) ==
+shards(2), byte-identical, per stack); these tests pin the mechanisms
+underneath on small synthetic worlds: the planner's cut rules and
+group assignment, the transmit-time boundary announce and its computed
+arrival time, the null-message (EOT) bound formula, deterministic
+injection ordering of packets and migrations, the migration lookahead
+guard, transport error propagation, and the harvest merge.
+"""
+
+import math
+import multiprocessing
+import queue
+
+import pytest
+
+from repro.experiments.exec import RemoteTraceback
+from repro.net import Network, Packet
+from repro.net.link import link_registry
+from repro.shard import (
+    BoundaryLink,
+    LocalTransport,
+    PeerAborted,
+    PipeTransport,
+    ShardDriver,
+    ShardPlan,
+    inject_arrival,
+    install_boundary_exports,
+    make_shard_plan,
+    merge_harvests,
+    neuter_foreign_parts,
+)
+from repro.sim import Simulator
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+needs_fork = pytest.mark.skipif(not HAS_FORK, reason="platform lacks fork")
+
+
+# ----------------------------------------------------------------------
+# A synthetic built world the planner/boundary helpers can operate on
+# ----------------------------------------------------------------------
+class _FakeBuilt:
+    """Minimal shard-contract shim over a hand-built Network."""
+
+    SHARD_PARTS = ("radio", "cn", "core")
+
+    def __init__(self, sim, network, part_of, spec=None):
+        self.sim = sim
+        self.network = network
+        self._part_of = part_of
+        self.spec = spec
+
+    def shard_part(self, node_name):
+        return self._part_of.get(node_name, "radio")
+
+    def shard_processes(self, part):
+        return []
+
+
+def _world(cut_delay=0.004, cut_loss=0.0):
+    """radio(m, gw) --cut--> core(core) ---> cn(cn), all wired."""
+    sim = Simulator()
+    network = Network(sim)
+    m = network.host("m")
+    gw = network.router("gw")
+    core = network.router("core")
+    cn = network.host("cn")
+    network.connect(m, gw, delay=0.001)
+    network.connect(gw, core, delay=cut_delay, loss_rate=cut_loss)
+    network.connect(core, cn, delay=0.002)
+    network.install_routes()
+    part_of = {"core": "core", "cn": "cn"}
+    return _FakeBuilt(sim, network, part_of), network
+
+
+# ----------------------------------------------------------------------
+# Planner: group assignment and cut rules
+# ----------------------------------------------------------------------
+def test_plan_peels_radio_into_its_own_group_first():
+    built, _network = _world()
+    plan = make_shard_plan(built, 3)
+    assert plan.groups[0] == ("radio",)
+    assert sorted(p for g in plan.groups for p in g) == ["cn", "core", "radio"]
+    assert plan.n_groups == 3
+
+
+def test_plan_single_shard_degenerates_to_one_group():
+    built, _network = _world()
+    plan = make_shard_plan(built, 1)
+    assert plan.n_groups == 1
+    assert plan.boundaries == []
+    assert plan.channels == {}
+
+
+def test_plan_caps_groups_at_part_count():
+    built, _network = _world()
+    plan = make_shard_plan(built, 16)
+    assert plan.n_groups == 3
+
+
+def test_plan_merges_groups_joined_by_zero_delay_link():
+    built, _network = _world(cut_delay=0.0)
+    plan = make_shard_plan(built, 3)
+    # radio--core joined by a zero-lookahead link: those parts merge,
+    # leaving only the core--cn cut (both directions).
+    radio_group = plan.group_of("radio")
+    assert plan.group_of("core") == radio_group
+    assert plan.group_of("cn") != radio_group
+    assert all(b.delay > 0.0 for b in plan.boundaries)
+
+
+def test_plan_merges_groups_joined_by_lossy_link():
+    built, _network = _world(cut_loss=0.1)
+    plan = make_shard_plan(built, 3)
+    assert plan.group_of("core") == plan.group_of("radio")
+
+
+def test_plan_merges_groups_joined_by_shared_channel_link():
+    built, network = _world()
+    for link in network.links:
+        if link.head.name == "gw" and link.tail.name == "core":
+            link.shared_channel = object()
+    plan = make_shard_plan(built, 3)
+    assert plan.group_of("core") == plan.group_of("radio")
+
+
+def test_plan_channel_lookahead_is_min_cut_delay():
+    built, network = _world()
+    # Add a second, faster radio->core cut; the channel bound must use it.
+    network.connect("m", "core", delay=0.003)
+    plan = make_shard_plan(built, 3)
+    src = plan.group_of("radio")
+    dst = plan.group_of("core")
+    assert plan.channels[(src, dst)] == pytest.approx(0.003)
+    assert plan.inbound(dst)[src] == pytest.approx(0.003)
+    assert plan.outbound(src)[dst] == pytest.approx(0.003)
+
+
+# ----------------------------------------------------------------------
+# Boundary: transmit-time announce, injection, cut-rule guard
+# ----------------------------------------------------------------------
+def _cut_link(network, head, tail):
+    for index, link in enumerate(link_registry(network.sim).links):
+        if link.head.name == head and link.tail.name == tail:
+            return index, link
+    raise AssertionError(f"no {head}->{tail} link")
+
+
+def test_boundary_export_announces_at_send_time_with_arrival_time():
+    built, network = _world(cut_delay=0.004)
+    plan = make_shard_plan(built, 3)
+    src = plan.group_of("radio")
+    announced = []
+    hooked = install_boundary_exports(
+        built, plan, src, lambda *args: announced.append(args)
+    )
+    assert hooked >= 1
+
+    link_id, link = _cut_link(network, "gw", "core")
+    packet = Packet(
+        src=network.nodes["m"].address,
+        dst=network.nodes["cn"].address,
+        size=1000,
+    )
+    built.sim.call_later(0.5, link.transmit, packet)
+    built.sim.run(until=0.5)  # announce happens AT the send instant
+    assert len(announced) == 1
+    dst_group, announced_link, announced_packet, t_arrival = announced[0]
+    assert dst_group == plan.group_of("core")
+    assert announced_link == link_id
+    assert announced_packet is packet
+    expected = 0.5 + link.serialization_time(packet) + link.delay
+    assert t_arrival == pytest.approx(expected)
+    # The head side swallows local delivery: stats accrue, no receive.
+    built.sim.run()
+    assert link.stats.delivered == 1
+
+
+def test_inject_arrival_replays_receive_and_rejects_the_past():
+    built, network = _world()
+    link_id, link = _cut_link(network, "gw", "core")
+    received = []
+    network.nodes["cn"].on_default(
+        lambda packet, _link: received.append((built.sim.now, packet))
+    )
+    packet = Packet(
+        src=network.nodes["m"].address,
+        dst=network.nodes["cn"].address,
+        size=1000,
+    )
+    inject_arrival(built, link_id, packet, 0.25)
+    built.sim.run()
+    assert received and received[0][1] is packet
+    # Delivered onward over the core->cn hop after the injected arrival.
+    assert received[0][0] > 0.25
+    with pytest.raises(RuntimeError, match="causality"):
+        inject_arrival(built, link_id, packet, built.sim.now - 1.0)
+
+
+def test_install_boundary_exports_guards_cut_rule_violations():
+    built, network = _world()
+    link_id, _link = _cut_link(network, "m", "gw")  # delay 0.001, internal
+    network.links[0].loss_rate = 0.0  # untouched; violation is hand-made
+    plan = ShardPlan(
+        groups=(("radio",), ("cn", "core")),
+        boundaries=[
+            BoundaryLink(link_id=link_id, src_group=0, dst_group=1, delay=0.0)
+        ],
+    )
+    registry_link = link_registry(built.sim).links[link_id]
+    registry_link.delay = 0.0  # zero lookahead: must be refused
+    with pytest.raises(RuntimeError, match="cut rules"):
+        install_boundary_exports(built, plan, 0, lambda *args: None)
+
+
+def test_neuter_foreign_parts_silences_unowned_processes():
+    sim = Simulator()
+    ticks = []
+
+    def ticker():
+        while True:
+            yield sim.timeout(0.1)
+            ticks.append(sim.now)
+
+    process = sim.process(ticker())
+
+    class Built:
+        SHARD_PARTS = ("radio", "cn")
+
+        def shard_processes(self, part):
+            return [process] if part == "radio" else []
+
+    assert neuter_foreign_parts(Built(), owned={"cn"}) == 1
+    sim.run(until=1.0)
+    assert ticks == []  # the generator was swapped before Initialize
+
+
+# ----------------------------------------------------------------------
+# Driver: EOT bounds, injection order, migration lookahead
+# ----------------------------------------------------------------------
+class _ScriptedEndpoint:
+    """Replays scripted inbound messages; records every send."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.sent = []
+
+    def send(self, dst, payload):
+        self.sent.append((dst, payload))
+
+    def recv(self):
+        return self.script.pop(0)
+
+
+def _driver(script, spec=None):
+    built, _network = _world()
+    built.spec = spec
+    plan = ShardPlan(
+        groups=(("radio",), ("cn", "core")),
+        channels={(0, 1): 0.005, (1, 0): 0.005},
+    )
+    endpoint = _ScriptedEndpoint(script)
+    return ShardDriver(built, plan, 0, endpoint), endpoint, built
+
+
+def test_advance_phase_promises_eot_bounds_and_barriers():
+    """The null bound is min(peek, horizon, phase_end) + lookahead, and
+    the phase exit sends the final bound plus a phase marker."""
+    driver, endpoint, built = _driver(
+        script=[(1, ("null", 0.5)), (1, ("null", 2.0)), (1, ("phase",))]
+    )
+    built.sim.call_later(0.3, lambda: None)  # a pending local event
+    driver._advance_phase(1.0)
+    nulls = [p[1] for _dst, p in endpoint.sent if p[0] == "null"]
+    # Round 1: horizon 0.0 dominates -> 0.0 + 0.005.
+    assert nulls[0] == pytest.approx(0.005)
+    # Round 2: the 0.3 event was consumed, peek is inf, horizon 0.5
+    # dominates phase_end 1.0 -> 0.505.
+    assert nulls[1] == pytest.approx(0.505)
+    # Exit: bound promises past the barrier -> 1.0 + 0.005, then marker.
+    assert nulls[2] == pytest.approx(1.005)
+    assert endpoint.sent[-1] == (1, ("phase",))
+    assert built.sim.now == pytest.approx(1.0)
+
+
+def test_driver_injects_packets_before_migrations_at_time_ties():
+    driver, endpoint, built = _driver(script=[])
+    network = built.network
+    link_id, _link = _cut_link(network, "gw", "core")
+    order = []
+    network.nodes["core"].on_default(
+        lambda packet, _link: order.append("pkt")
+    )
+    driver.on_migrate("m-1", lambda state: order.append(("migrate", state)))
+    packet = Packet(
+        src=network.nodes["m"].address,
+        dst=network.nodes["core"].address,
+        size=100,
+    )
+    # Buffered out of order; the sort must put the packet (rank 0)
+    # ahead of the migration (rank 1) at the identical timestamp.
+    driver._pending.append((0.5, 1, "m-1", 1, 0, {"speed": 3.0}))
+    driver._pending.append((0.5, 0, link_id, 1, 1, packet))
+    driver._inject_pending()
+    built.sim.run()
+    assert order == ["pkt", ("migrate", {"speed": 3.0})]
+
+
+def test_send_migration_enforces_channel_lookahead():
+    driver, endpoint, built = _driver(script=[])
+    with pytest.raises(ValueError, match="lookahead"):
+        driver.send_migration(1, "m-1", {}, t_effective=0.001)
+    driver.send_migration(1, "m-1", {"x": 1}, t_effective=0.005)
+    assert endpoint.sent[-1][0] == 1
+    kind, t_effective, key, _seq, state = endpoint.sent[-1][1]
+    assert (kind, t_effective, key, state) == (
+        "migrate", 0.005, "m-1", {"x": 1}
+    )
+
+
+def test_driver_rejects_duplicate_phase_markers():
+    driver, _endpoint, _built = _driver(script=[])
+    assert driver._consume(1, ("phase",)) is True
+    with pytest.raises(RuntimeError, match="out of step"):
+        driver._consume(1, ("phase",))
+
+
+def test_driver_raises_peer_aborted_on_abort_message():
+    driver, _endpoint, _built = _driver(script=[])
+    with pytest.raises(PeerAborted):
+        driver._consume(1, ("abort",))
+
+
+# ----------------------------------------------------------------------
+# Transports: FIFO relay and fail-fast error propagation
+# ----------------------------------------------------------------------
+def test_local_transport_propagates_root_error_not_the_cascade():
+    def body(endpoint, group):
+        if group == 0:
+            raise ValueError("shard zero exploded")
+        endpoint.recv()  # blocks until the abort broadcast arrives
+        return {}
+
+    with pytest.raises(ValueError, match="shard zero exploded") as info:
+        LocalTransport().run(2, body)
+    assert isinstance(info.value.__cause__, RemoteTraceback)
+
+
+def test_local_transport_returns_harvests_in_group_order():
+    def body(endpoint, group):
+        if group == 0:
+            endpoint.send(1, ("ping", 1))
+            endpoint.send(1, ("ping", 2))
+            return {"group": 0}
+        first = endpoint.recv()
+        second = endpoint.recv()
+        return {"group": 1, "messages": [first, second]}
+
+    harvests = LocalTransport().run(2, body)
+    assert harvests[0] == {"group": 0}
+    assert harvests[1] == {
+        "group": 1,
+        "messages": [(0, ("ping", 1)), (0, ("ping", 2))],
+    }
+
+
+@needs_fork
+def test_pipe_transport_relays_fifo_between_children():
+    def body(endpoint, group):
+        if group == 0:
+            for index in range(5):
+                endpoint.send(1, ("seq", index))
+            return {"group": 0}
+        return {"received": [endpoint.recv() for _ in range(5)]}
+
+    harvests = PipeTransport().run(2, body)
+    assert harvests[1]["received"] == [
+        (0, ("seq", index)) for index in range(5)
+    ]
+
+
+@needs_fork
+def test_pipe_transport_fail_fast_reraises_original_exception():
+    def body(endpoint, group):
+        if group == 0:
+            raise ValueError("child zero exploded")
+        endpoint.recv()  # never satisfied; the parent terminates us
+        return {}
+
+    with pytest.raises(ValueError, match="child zero exploded") as info:
+        PipeTransport().run(2, body)
+    assert isinstance(info.value.__cause__, RemoteTraceback)
+
+
+# ----------------------------------------------------------------------
+# Merge and runner entry point
+# ----------------------------------------------------------------------
+def test_merge_harvests_sums_hops_and_events_unions_sections():
+    merged, events = merge_harvests([
+        {"hops": {"data": 3, "reg": 1}, "_events": 10, "sinks": [1, 2]},
+        {"hops": {"data": 4}, "_events": 5, "packets_sent": [7]},
+    ])
+    assert merged["hops"] == {"data": 7, "reg": 1}
+    assert merged["sinks"] == [1, 2]
+    assert merged["packets_sent"] == [7]
+    assert "_events" not in merged
+    assert events == 15
+
+
+def test_run_sharded_rejects_nonpositive_shard_count():
+    from repro.scenarios import get_scenario
+    from repro.shard import run_scenario_spec_sharded
+
+    with pytest.raises(ValueError, match="at least 1"):
+        run_scenario_spec_sharded(get_scenario("sparse-rural").smoke(), 1, 0)
+
+
+def test_run_sharded_degrades_to_serial_without_fork(monkeypatch, capsys):
+    """Fork-less platforms warn once per process and run serially."""
+    from repro.scenarios import get_scenario, run_scenario_spec
+    from repro.shard import runner
+
+    spec = get_scenario("commuter-corridor").smoke()
+    monkeypatch.setattr(
+        runner.multiprocessing, "get_all_start_methods", lambda: ["spawn"]
+    )
+    monkeypatch.setattr(runner, "_warned_degrade", False)
+    first = runner.run_scenario_spec_sharded(spec, 1, 2)
+    second = runner.run_scenario_spec_sharded(spec, 1, 2)
+    err = capsys.readouterr().err
+    assert err.count("lacks the 'fork' start method") == 1
+    assert first == second == run_scenario_spec(spec, 1)
+
+
+def test_base_stack_adapter_refuses_harvest_metrics():
+    from repro.stacks.base import StackAdapter
+
+    class Bare(StackAdapter):
+        name = "bare"
+
+        def build(self, spec, seed):  # pragma: no cover - not called
+            raise AssertionError
+
+    with pytest.raises(NotImplementedError, match="sharded"):
+        Bare().harvest_metrics(None, {})

@@ -53,6 +53,7 @@ BASELINE = REPO / "benchmarks" / "BENCH_kernel.json"
 BENCH_FILES = (
     "benchmarks/bench_kernel_throughput.py",
     "benchmarks/bench_scenario_stacks.py",
+    "benchmarks/bench_shard_scaling.py",
 )
 
 SCHEMA = 2
